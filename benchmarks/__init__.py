@@ -1,0 +1,1 @@
+"""Benchmark package: regenerates every figure/table of the paper."""

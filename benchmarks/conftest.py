@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Benchmarks regenerate every data figure and worked example of the paper.
+By default they run at ``quick`` scale (reduced grid, shorter sessions —
+trends preserved).  Run at the paper's full scale with::
+
+    REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only
+
+Each benchmark prints the reproduced table/series through the ``emit``
+fixture, which suspends pytest's output capture so the tables land on the
+real stdout (and in ``bench_output.txt`` when tee'd) even without ``-s``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def emit(pytestconfig):
+    """Print a reproduction table on the uncaptured terminal stdout."""
+    capman = pytestconfig.pluginmanager.getplugin("capturemanager")
+
+    def _emit(text: str) -> None:
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                _write(text)
+        else:  # pragma: no cover - capture plugin always present
+            _write(text)
+
+    return _emit
+
+
+def _write(text: str) -> None:
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72, flush=True)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulations are long)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

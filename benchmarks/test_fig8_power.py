@@ -1,0 +1,46 @@
+"""Figure 8 — average power consumption per sleeping node.
+
+Paper result: power falls as the sleep period grows (for CCP alone and for
+MobiQuery); MobiQuery's increase over bare CCP stays below 0.05 W in every
+setting; the late-profile variant (Ta = -3 s) consumes slightly *less* than
+Ta = +9 s because warmup periods wake fewer nodes.
+"""
+
+from collections import defaultdict
+
+from repro.experiments.figures import run_fig8
+from repro.experiments.reporting import format_table
+
+
+def test_fig8_power(once, emit):
+    rows = once(run_fig8)
+    emit(
+        format_table(
+            "Figure 8 — average power per sleeping node (W)",
+            ["variant", "Tsleep (s)", "power (W)"],
+            [(r.variant, r.sleep_period_s, r.sleeper_power_w) for r in rows],
+        )
+    )
+    by_variant = defaultdict(dict)
+    for r in rows:
+        by_variant[r.variant][r.sleep_period_s] = r.sleeper_power_w
+
+    sleeps = sorted(next(iter(by_variant.values())).keys())
+    ccp = by_variant["CCP (no query)"]
+
+    for variant, series in by_variant.items():
+        # Shape 1: longer sleep periods draw less power.
+        assert series[sleeps[-1]] < series[sleeps[0]]
+
+    for ta_variant in ("MQ-JIT Ta=-3s", "MQ-JIT Ta=+9s"):
+        for sleep_period in sleeps:
+            overhead = by_variant[ta_variant][sleep_period] - ccp[sleep_period]
+            # Shape 2: MobiQuery's overhead stays under the paper's 0.05 W.
+            assert 0.0 <= overhead < 0.05
+
+    # Shape 3: Ta=-3 consumes no more than Ta=+9 (warmup wakes fewer nodes).
+    for sleep_period in sleeps:
+        assert (
+            by_variant["MQ-JIT Ta=-3s"][sleep_period]
+            <= by_variant["MQ-JIT Ta=+9s"][sleep_period] + 0.003
+        )

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Backbone ablation — CCP vs SPAN vs GAF vs always-on.
+
+The paper runs MobiQuery over CCP but notes any backbone-maintaining power
+management protocol (SPAN, GAF) composes with it.  This example measures
+what the choice costs: backbone size, sensing coverage, connectivity, and
+the steady-state power bill.
+
+Run:
+    python examples/backbone_ablation.py
+"""
+
+from repro.core.metrics import measure_power
+from repro.net.network import NetworkConfig, build_network
+from repro.power.base import PowerManagementProtocol
+from repro.power.ccp import CcpProtocol
+from repro.power.coverage import covered_fraction
+from repro.power.gaf import AlwaysOnProtocol, GafProtocol
+from repro.power.span import SpanProtocol
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+
+SEED = 11
+SETTLE_S = 120.0
+
+
+def evaluate(protocol: PowerManagementProtocol):
+    sim = Simulator()
+    streams = RandomStreams(SEED)
+    network = build_network(sim, NetworkConfig(sleep_period_s=9.0), streams)
+    active = protocol.apply(network, streams)
+    sim.run(until=SETTLE_S)
+    power = measure_power(network)
+    mean_node_power = (
+        power.mean_active_power_w * power.active_count
+        + power.mean_sleeper_power_w * power.sleeper_count
+    ) / (power.active_count + power.sleeper_count)
+    return {
+        "backbone": len(active),
+        "coverage": covered_fraction(network, active, step_m=15.0),
+        "connected": network.is_backbone_connected(),
+        "mean_node_power_w": mean_node_power,
+    }
+
+
+def main() -> None:
+    protocols = [
+        ("CCP (paper)", CcpProtocol()),
+        ("SPAN", SpanProtocol()),
+        ("GAF", GafProtocol()),
+        ("always-on", AlwaysOnProtocol()),
+    ]
+    print(f"{'protocol':<12} {'backbone':>8} {'coverage':>9} "
+          f"{'connected':>10} {'mean power':>11}")
+    print("-" * 55)
+    rows = {}
+    for name, protocol in protocols:
+        stats = evaluate(protocol)
+        rows[name] = stats
+        print(
+            f"{name:<12} {stats['backbone']:>5}/200 {stats['coverage']:>8.1%} "
+            f"{str(stats['connected']):>10} {stats['mean_node_power_w']*1000:>8.0f} mW"
+        )
+
+    print("\nReading the table:")
+    print(" * CCP keeps full sensing coverage with a modest backbone —")
+    print("   what MobiQuery's query areas rely on.")
+    print(" * SPAN/GAF guarantee connectivity only; coverage may dip, so")
+    print("   some query-area sensors would never report.")
+    print(" * always-on is the fidelity ceiling at ~5-6x the power bill.")
+    assert rows["CCP (paper)"]["coverage"] > rows["GAF"]["coverage"] - 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""MobiQuery reproduction: a spatiotemporal query service for mobile users
+in wireless sensor networks (Lu, Xing, Chipara, Fok, Bhattacharya — ICDCS
+2005), rebuilt on a from-scratch Python discrete-event simulator.
+
+Quick tour of the public API::
+
+    from repro import ExperimentConfig, run_experiment, MODE_JIT
+
+    result = run_experiment(ExperimentConfig(mode=MODE_JIT, seed=7,
+                                             duration_s=120.0))
+    print(result.metrics.success_ratio())
+
+Subpackages:
+
+* ``repro.sim`` — event kernel, processes, RNG streams, tracing.
+* ``repro.geometry`` — 2-D vectors, circles, spatial grid.
+* ``repro.net`` — channel, CSMA/CA MAC, 802.11-PSM duty cycling, energy,
+  sensor nodes, geographic routing, scoped flooding, synthetic fields.
+* ``repro.power`` — CCP / SPAN / GAF backbone selection.
+* ``repro.mobility`` — user paths, GPS error, motion profiles,
+  planner/predictor providers.
+* ``repro.core`` — the MobiQuery protocol (JIT + greedy prefetching, query
+  trees, data collection, cancellation), the NP baseline, Section 5
+  closed-form analysis, Section 6 metrics.
+* ``repro.experiments`` — per-figure experiment harness.
+"""
+
+from .core import (
+    AggregateState,
+    Aggregation,
+    AnalysisParams,
+    MobiQueryConfig,
+    MobiQueryGateway,
+    MobiQueryProtocol,
+    NoPrefetchGateway,
+    NoPrefetchProtocol,
+    QuerySpec,
+    SessionMetrics,
+    build_session_metrics,
+    measure_power,
+)
+from .experiments import (
+    MODE_GREEDY,
+    MODE_IDLE,
+    MODE_JIT,
+    MODE_NP,
+    ExperimentConfig,
+    RunResult,
+    paper_section62_config,
+    paper_section63_config,
+    run_experiment,
+    run_replications,
+)
+from .geometry import (
+    Circle,
+    DiskTemplate,
+    Rect,
+    RectTemplate,
+    SectorTemplate,
+    Vec2,
+)
+from .mobility import (
+    FullKnowledgeProvider,
+    GpsModel,
+    HistoryPredictorProvider,
+    MotionProfile,
+    PiecewisePath,
+    PlannerProfileProvider,
+    RandomDirectionConfig,
+    random_direction_path,
+)
+from .net import NetworkConfig, build_network
+from .power import AlwaysOnProtocol, CcpProtocol, GafProtocol, SpanProtocol
+from .sim import RandomStreams, Simulator, Tracer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # experiments
+    "ExperimentConfig",
+    "RunResult",
+    "run_experiment",
+    "run_replications",
+    "paper_section62_config",
+    "paper_section63_config",
+    "MODE_JIT",
+    "MODE_GREEDY",
+    "MODE_NP",
+    "MODE_IDLE",
+    # core
+    "QuerySpec",
+    "Aggregation",
+    "AggregateState",
+    "MobiQueryProtocol",
+    "MobiQueryConfig",
+    "MobiQueryGateway",
+    "NoPrefetchProtocol",
+    "NoPrefetchGateway",
+    "SessionMetrics",
+    "build_session_metrics",
+    "measure_power",
+    "AnalysisParams",
+    # substrate
+    "NetworkConfig",
+    "build_network",
+    "CcpProtocol",
+    "SpanProtocol",
+    "GafProtocol",
+    "AlwaysOnProtocol",
+    "Simulator",
+    "RandomStreams",
+    "Tracer",
+    "Vec2",
+    "Circle",
+    "Rect",
+    "DiskTemplate",
+    "SectorTemplate",
+    "RectTemplate",
+    # mobility
+    "PiecewisePath",
+    "MotionProfile",
+    "RandomDirectionConfig",
+    "random_direction_path",
+    "GpsModel",
+    "FullKnowledgeProvider",
+    "PlannerProfileProvider",
+    "HistoryPredictorProvider",
+]

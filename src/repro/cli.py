@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — one query session with chosen mode/seed/duration; prints the
+  per-period summary and an ASCII fidelity strip.
+* ``fig`` — regenerate one of the paper's figures (4-8) as a table.
+* ``analysis`` — print the Section 5 closed-form tables (paper vs ours).
+* ``topology`` — render the sensor field, backbone and user path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.config import (
+    MODE_GREEDY,
+    MODE_IDLE,
+    MODE_JIT,
+    MODE_NP,
+    ExperimentConfig,
+    paper_section62_config,
+)
+from .experiments.figures import (
+    contention_analysis_table,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    storage_analysis_table,
+)
+from .experiments.reporting import format_table
+from .experiments.runner import run_experiment
+from .net.network import NetworkConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MobiQuery reproduction (Lu et al., ICDCS 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one query session")
+    run_p.add_argument(
+        "--mode",
+        choices=[MODE_JIT, MODE_GREEDY, MODE_NP, MODE_IDLE],
+        default=MODE_JIT,
+    )
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--duration", type=float, default=120.0)
+    run_p.add_argument("--sleep-period", type=float, default=9.0)
+
+    fig_p = sub.add_parser("fig", help="regenerate a paper figure")
+    fig_p.add_argument("number", type=int, choices=[4, 5, 6, 7, 8])
+    fig_p.add_argument("--scale", choices=["quick", "paper"], default="quick")
+
+    sub.add_parser("analysis", help="Section 5 closed-form tables")
+
+    topo_p = sub.add_parser("topology", help="render the sensor field")
+    topo_p.add_argument("--seed", type=int, default=1)
+    topo_p.add_argument("--width", type=int, default=72)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        mode=args.mode,
+        seed=args.seed,
+        duration_s=args.duration,
+        network=NetworkConfig(sleep_period_s=args.sleep_period),
+    )
+    result = run_experiment(config)
+    print(f"mode={args.mode} seed={args.seed} duration={args.duration:.0f}s "
+          f"sleep={args.sleep_period:.0f}s backbone={result.backbone_size}")
+    if result.metrics is None:
+        print(f"idle run: mean sleeper power "
+              f"{result.power.mean_sleeper_power_w * 1000:.0f} mW")
+        return 0
+    metrics = result.metrics
+    print(f"success ratio : {metrics.success_ratio():.1%}")
+    print(f"mean fidelity : {metrics.mean_fidelity():.1%}")
+    print(f"warmup periods: {metrics.warmup_periods_observed()}")
+    print(f"prefetch len  : {result.max_prefetch_length}")
+    print(f"sleeper power : {result.power.mean_sleeper_power_w * 1000:.0f} mW")
+    from .experiments.viz import render_fidelity_strip
+
+    print("\nfidelity per period:")
+    print(render_fidelity_strip(metrics.fidelity_series()))
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    number = args.number
+    scale = args.scale
+    if number == 4:
+        rows = run_fig4(scale)
+        print(format_table(
+            "Figure 4 — success ratio",
+            ["mode", "Tsleep", "speed", "success", "fidelity"],
+            [(r.mode, r.sleep_period_s, f"{r.speed_range}", r.success_ratio,
+              r.mean_fidelity) for r in rows],
+        ))
+    elif number == 5:
+        from .experiments.viz import render_fidelity_strip
+
+        for trace in run_fig5(scale):
+            print(f"\nFigure 5 — {trace.mode} "
+                  f"(warmup {trace.warmup_periods} periods)")
+            print(render_fidelity_strip(trace.series))
+    elif number == 6:
+        rows = run_fig6(scale)
+        print(format_table(
+            "Figure 6 — success vs advance time",
+            ["Tsleep", "Ta", "success"],
+            [(r.sleep_period_s, r.advance_time_s, r.success_ratio) for r in rows],
+        ))
+    elif number == 7:
+        rows = run_fig7(scale)
+        print(format_table(
+            "Figure 7 — motion changes / location error",
+            ["curve", "interval", "success"],
+            [(r.curve, r.change_interval_s, r.success_ratio) for r in rows],
+        ))
+    else:
+        rows = run_fig8(scale)
+        print(format_table(
+            "Figure 8 — sleeper power",
+            ["variant", "Tsleep", "power (W)"],
+            [(r.variant, r.sleep_period_s, r.sleeper_power_w) for r in rows],
+        ))
+    return 0
+
+
+def _cmd_analysis() -> int:
+    print(format_table(
+        "Section 5.2 — storage cost",
+        ["quantity", "paper", "ours"],
+        [(r.quantity, r.paper_value, r.our_value) for r in storage_analysis_table()],
+    ))
+    print()
+    print(format_table(
+        "Section 5.4 — network contention",
+        ["quantity", "paper", "ours"],
+        [(r.quantity, r.paper_value, r.our_value) for r in contention_analysis_table()],
+    ))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from .experiments.runner import _make_user_path
+    from .experiments.viz import render_field
+    from .power.ccp import CcpProtocol
+    from .sim.kernel import Simulator
+    from .sim.rng import RandomStreams
+    from .net.network import build_network
+
+    config = ExperimentConfig(seed=args.seed, duration_s=200.0)
+    sim = Simulator()
+    streams = RandomStreams(args.seed)
+    network = build_network(sim, config.network, streams)
+    CcpProtocol().apply(network, streams)
+    path = _make_user_path(config, streams)
+    area = config_spec_area(config, path)
+    print(render_field(network, width=args.width, path=path, area=area,
+                       user=path.position_at(0.0)))
+    print(f"\nbackbone: {len(network.active_nodes)}/{config.network.n_nodes} nodes")
+    return 0
+
+
+def config_spec_area(config: ExperimentConfig, path):
+    """The query area at the session start (for the topology view)."""
+    from .core.query import QuerySpec
+
+    spec = QuerySpec(
+        radius_m=config.query.radius_m,
+        period_s=config.query.period_s,
+        freshness_s=config.query.freshness_s,
+        lifetime_s=config.duration_s,
+    )
+    return spec.area_at(path.position_at(0.0), path.velocity_at(0.0))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "fig":
+        return _cmd_fig(args)
+    if args.command == "analysis":
+        return _cmd_analysis()
+    if args.command == "topology":
+        return _cmd_topology(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,266 @@
+"""Closed-form analysis from Section 5 of the paper.
+
+Every formula the paper derives, implemented symbol-for-symbol so the
+benchmark harness can print paper-vs-computed tables and the simulator's
+behaviour can be validated against theory:
+
+* eq. (10) — the just-in-time prefetch forwarding time,
+* eqs. (11)/(12)/(13) — worst-case prefetch length (storage cost) under
+  greedy and JIT prefetching and the lifetime threshold where JIT wins,
+* eq. (16) — the warmup-interval bound after a motion change,
+* eqs. (17)/(18) and the ``v*`` threshold — interference lengths (network
+  contention) under both schemes,
+* the Section 5.2 back-of-envelope ``vprfh`` estimate (the "469 mph"
+  number).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: metres per mile, using the paper's own rounding (it divides by
+#: 1000 * 1.6 when converting m/s to mph, so we keep that convention for
+#: apples-to-apples numbers).
+PAPER_METERS_PER_MILE = 1600.0
+
+
+@dataclass(frozen=True)
+class AnalysisParams:
+    """The symbols shared by the Section 5 formulas."""
+
+    t_period_s: float
+    t_fresh_s: float
+    t_sleep_s: float
+    v_user_mps: float
+    v_prefetch_mps: float
+
+    def __post_init__(self) -> None:
+        if min(self.t_period_s, self.t_fresh_s, self.t_sleep_s) <= 0:
+            raise ValueError("timing parameters must be > 0")
+        if self.v_user_mps < 0 or self.v_prefetch_mps <= 0:
+            raise ValueError("speeds must be positive")
+
+    @property
+    def speed_ratio(self) -> float:
+        """``v_user / v_prfh`` — must be < 1 for prefetching to keep up
+        (paper assumption (4))."""
+        return self.v_user_mps / self.v_prefetch_mps
+
+
+# ----------------------------------------------------------------------
+# Section 5.1 — prefetch forwarding time
+# ----------------------------------------------------------------------
+def jit_forward_time(k_sender: int, params: AnalysisParams) -> float:
+    """Eq. (10): latest safe time for collector ``k_sender`` to forward.
+
+    ``tsend(k-1) <= (k-1) * Tperiod - Tsleep - 2 * Tfresh`` — the bound
+    under which the (k_sender+1)-th query deadline is still met.
+    """
+    if k_sender < 0:
+        raise ValueError("collector index must be >= 0")
+    return (
+        k_sender * params.t_period_s
+        - params.t_sleep_s
+        - 2.0 * params.t_fresh_s
+    )
+
+
+def tree_setup_bound(params: AnalysisParams) -> float:
+    """Eq. (7): ``Ttree <= Tfresh + Tsleep`` (using ``Tsetup <= Tfresh``)."""
+    return params.t_fresh_s + params.t_sleep_s
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 — storage cost (prefetch length)
+# ----------------------------------------------------------------------
+def prefetch_length_greedy(lifetime_s: float, params: AnalysisParams) -> int:
+    """Eq. (11): worst-case trees set up ahead of the user under greedy.
+
+    ``PLgp = floor(Td/Tp) - floor(Td/Tp * vuser/vprfh)`` — grows with the
+    query lifetime.
+    """
+    if lifetime_s < 0:
+        raise ValueError("lifetime must be >= 0")
+    periods = math.floor(lifetime_s / params.t_period_s)
+    visited = math.floor(lifetime_s / params.t_period_s * params.speed_ratio)
+    return int(periods - visited)
+
+
+def prefetch_length_jit(params: AnalysisParams) -> int:
+    """Eq. (12): constant worst-case prefetch length under JIT.
+
+    ``PLjit = ceil((Tsleep + 2*Tfresh) / Tperiod) + 1``.
+    """
+    return (
+        int(
+            math.ceil(
+                (params.t_sleep_s + 2.0 * params.t_fresh_s) / params.t_period_s
+            )
+        )
+        + 1
+    )
+
+
+def jit_storage_wins_lifetime(params: AnalysisParams) -> float:
+    """Eq. (13): query lifetime beyond which JIT stores strictly less.
+
+    ``Td > (Tsleep + 2*Tfresh + Tperiod) / (1 - vuser/vprfh)``.
+    """
+    ratio = params.speed_ratio
+    if ratio >= 1.0:
+        return math.inf
+    return (
+        params.t_sleep_s + 2.0 * params.t_fresh_s + params.t_period_s
+    ) / (1.0 - ratio)
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 — prefetch speed estimate
+# ----------------------------------------------------------------------
+def prefetch_speed_mps(
+    hop_distance_m: float,
+    hops: int,
+    message_bytes: int,
+    effective_bandwidth_bps: float,
+) -> float:
+    """The paper's ``vprfh`` estimate: distance over store-and-forward time.
+
+    With the Section 5.2 numbers (100 m, 5 hops, 60-byte message, 5 kb/s
+    effective bandwidth) this evaluates to ~208 m/s, the paper's
+    "approximately 469 mph".
+    """
+    if hops <= 0 or hop_distance_m <= 0:
+        raise ValueError("hops and distance must be > 0")
+    if effective_bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be > 0")
+    transfer_s = hops * (message_bytes * 8.0) / effective_bandwidth_bps
+    return hop_distance_m / transfer_s
+
+
+def mps_to_paper_mph(v_mps: float) -> float:
+    """m/s to mph with the paper's 1600 m/mile rounding convention."""
+    return v_mps * 3600.0 / PAPER_METERS_PER_MILE
+
+
+# ----------------------------------------------------------------------
+# Section 5.3 — warmup interval
+# ----------------------------------------------------------------------
+def warmup_periods(advance_time_s: float, params: AnalysisParams) -> int:
+    """Eq. (16): worst-case periods with degraded fidelity after a change.
+
+    ``k <= ceil((Tsleep + 2*Tfresh - (1 - r) * Ta) / (Tperiod * (1 - r)))``
+    with ``r = vuser / vprfh``.  Clamped at zero: a sufficiently early
+    profile removes the warmup entirely.
+    """
+    r = params.speed_ratio
+    if r >= 1.0:
+        raise ValueError("warmup bound requires v_user < v_prefetch")
+    numerator = (
+        params.t_sleep_s
+        + 2.0 * params.t_fresh_s
+        - (1.0 - r) * advance_time_s
+    )
+    k = math.ceil(numerator / (params.t_period_s * (1.0 - r)))
+    return max(0, int(k))
+
+
+def warmup_interval_s(advance_time_s: float, params: AnalysisParams) -> float:
+    """``Tw = k * Tperiod`` for the eq. (16) bound."""
+    return warmup_periods(advance_time_s, params) * params.t_period_s
+
+
+def warmup_free_advance_time(params: AnalysisParams) -> float:
+    """The ``Ta`` at which the warmup vanishes:
+    ``Ta = (2*Tfresh + Tsleep) / (1 - vuser/vprfh)``."""
+    r = params.speed_ratio
+    if r >= 1.0:
+        return math.inf
+    return (2.0 * params.t_fresh_s + params.t_sleep_s) / (1.0 - r)
+
+
+# ----------------------------------------------------------------------
+# Section 5.4 — network contention (interference length)
+# ----------------------------------------------------------------------
+def spatial_interference_bound(
+    query_radius_m: float, comm_range_m: float, params: AnalysisParams
+) -> int:
+    """Eq. (17): trees close enough to interfere with a given tree.
+
+    ``Ms = ceil((4*Rq + 2*Rc) / (vuser * Tperiod))`` — roots within
+    ``2*Rq + Rc`` of each other can interfere, and consecutive pickup
+    points are ``vuser * Tperiod`` apart.
+    """
+    if query_radius_m <= 0 or comm_range_m <= 0:
+        raise ValueError("radii must be > 0")
+    if params.v_user_mps <= 0:
+        raise ValueError("spatial bound needs a moving user")
+    return int(
+        math.ceil(
+            (4.0 * query_radius_m + 2.0 * comm_range_m)
+            / (params.v_user_mps * params.t_period_s)
+        )
+    )
+
+
+def temporal_interference_greedy(params: AnalysisParams) -> int:
+    """Eq. (18): overlapping setups under greedy prefetching.
+
+    ``Mt_gp <= ceil((Tsleep + Tfresh) * vprfh / (Tperiod * vuser))`` —
+    greedy spaces setups by the prefetch transit time, so a huge number of
+    setups overlap any one tree's ``Ttree``.
+    """
+    if params.v_user_mps <= 0:
+        raise ValueError("temporal bound needs a moving user")
+    return int(
+        math.ceil(
+            (params.t_sleep_s + params.t_fresh_s)
+            * params.v_prefetch_mps
+            / (params.t_period_s * params.v_user_mps)
+        )
+    )
+
+
+def temporal_interference_jit(params: AnalysisParams) -> int:
+    """JIT spaces setups by ``Tperiod``: ``Mt_jit = ceil(Ttree / Tperiod)``.
+
+    Using the eq. (7) bound ``Ttree <= Tsleep + Tfresh``.
+    """
+    return int(
+        math.ceil((params.t_sleep_s + params.t_fresh_s) / params.t_period_s)
+    )
+
+
+def interference_length_greedy(
+    query_radius_m: float, comm_range_m: float, params: AnalysisParams
+) -> int:
+    """``Mgp = min(Mt_gp, Ms)``."""
+    return min(
+        temporal_interference_greedy(params),
+        spatial_interference_bound(query_radius_m, comm_range_m, params),
+    )
+
+
+def interference_length_jit(
+    query_radius_m: float, comm_range_m: float, params: AnalysisParams
+) -> int:
+    """``Mjit = min(Mt_jit, Ms)``."""
+    return min(
+        temporal_interference_jit(params),
+        spatial_interference_bound(query_radius_m, comm_range_m, params),
+    )
+
+
+def contention_crossover_speed(
+    query_radius_m: float, comm_range_m: float, t_sleep_s: float, t_fresh_s: float
+) -> float:
+    """``v* = (2*Rc + 4*Rq) / (Tsleep + Tfresh)``.
+
+    Below ``v*`` JIT causes strictly less contention than greedy; above it
+    JIT degenerates to greedy-like forwarding and they tie.
+    """
+    if query_radius_m <= 0 or comm_range_m <= 0:
+        raise ValueError("radii must be > 0")
+    if t_sleep_s + t_fresh_s <= 0:
+        raise ValueError("times must be > 0")
+    return (2.0 * comm_range_m + 4.0 * query_radius_m) / (t_sleep_s + t_fresh_s)

@@ -1,0 +1,191 @@
+"""The No-Prefetching (NP) baseline from Section 6.2.
+
+Under NP the user simply broadcasts the query into the current query area
+at the beginning of every period — no motion profile, no forewarning, no
+query tree.  Nodes that hear the query (directly, or via PSM-buffered
+delivery at their next beacon wake-up, the 802.11 mechanism that exists
+with or without MobiQuery) take a reading inside the freshness window and
+route it back to the user individually.
+
+The point of the baseline: with sleep periods several times the query
+period, only roughly ``Tperiod / Tsleep`` of the duty-cycled nodes can be
+woken in time, so data fidelity is capped far below the 95% success bar —
+which is exactly the Figure 4 result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..net.flooding import FloodManager
+from ..net.network import Network
+from ..net.node import SensorNode
+from ..net.packet import BROADCAST, Frame
+from ..net.routing import GeoRouter
+from ..sim.trace import Tracer
+from .messages import (
+    NP_QUERY_SIZE_BYTES,
+    NP_REPORT_SIZE_BYTES,
+    NpQueryMessage,
+    NpReportMessage,
+)
+
+
+@dataclass(frozen=True)
+class NoPrefetchConfig:
+    """Baseline tuning."""
+
+    #: delivery radius when routing a report back toward the user
+    relay_radius_m: float = 60.0
+    #: random stagger for readings taken at the sense time
+    report_jitter_max_s: float = 0.15
+    #: how long a woken leaf stays up to transmit its report
+    wake_slack_s: float = 0.15
+
+
+class NoPrefetchProtocol:
+    """Node-side handlers for the NP baseline."""
+
+    def __init__(
+        self,
+        network: Network,
+        geo: GeoRouter,
+        flood: FloodManager,
+        config: Optional[NoPrefetchConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.network = network
+        self.geo = geo
+        self.flood = flood
+        self.config = config or NoPrefetchConfig()
+        self.tracer = tracer if tracer is not None else network.tracer
+        self.sim = network.sim
+        self._seen: Set[Tuple[int, int, int]] = set()
+        self._pending_batches: Dict[int, List[NpQueryMessage]] = {}
+        self._batch_scheduled: Set[int] = set()
+        for node in network.nodes:
+            node.register_handler("np-query", self._on_query)
+            node.register_handler("np-query-batch", self._on_query_batch)
+            node.register_handler("np-relay", self._on_relay)
+
+    # ------------------------------------------------------------------
+    # Query reception
+    # ------------------------------------------------------------------
+    def _on_query(self, node: SensorNode, frame: Frame) -> None:
+        msg: NpQueryMessage = frame.payload
+        self._handle_query(node, msg)
+
+    def _on_query_batch(self, node: SensorNode, frame: Frame) -> None:
+        batch: Sequence[NpQueryMessage] = frame.payload
+        for msg in batch:
+            self._handle_query(node, msg)
+
+    def _handle_query(self, node: SensorNode, msg: NpQueryMessage) -> None:
+        key = (node.node_id, msg.query_id, msg.k)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if node.position.distance_to(msg.issue_position) > msg.radius_m:
+            return  # spatial constraint: batches reach beyond the area edge
+        now = self.sim.now
+        if now >= msg.deadline - 1e-3:
+            return
+        if node.is_active:
+            self._buffer_for_sleepers(node, msg)
+        sense_time = msg.deadline - msg.freshness_s
+        if now >= sense_time:
+            self._respond(node, msg)
+            return
+        if node.sleep_scheduler is not None:
+            node.sleep_scheduler.add_wake_interval(
+                sense_time, min(msg.deadline, sense_time + self.config.wake_slack_s)
+            )
+        jitter = float(node.rng.uniform(0.0, self.config.report_jitter_max_s))
+        self.sim.schedule_at(sense_time + jitter, self._respond, node, msg)
+
+    def _buffer_for_sleepers(self, node: SensorNode, msg: NpQueryMessage) -> None:
+        """PSM buffered delivery: re-announce at the next beacon window.
+
+        This is MAC-level behaviour, not prefetching — a sleeping neighbour
+        only benefits if its regular wake-up happens to land early enough in
+        the current period to still take a fresh reading.
+        """
+        psm = self.network.config.psm
+        now = self.sim.now
+        if psm.in_window(now):
+            next_window = now  # deliverable right away: sleepers listen now
+        else:
+            next_window = psm.next_window_start(now)
+        if next_window >= msg.deadline - 5e-3:
+            return  # the window opens too late to matter for this period
+        has_target = any(not nb.is_active for nb in node.neighbors)
+        if not has_target:
+            return
+        self._pending_batches.setdefault(node.node_id, []).append(msg)
+        if node.node_id in self._batch_scheduled:
+            return
+        self._batch_scheduled.add(node.node_id)
+        offset = float(node.rng.uniform(2e-3, 0.05))
+        self.sim.schedule_at(next_window + offset, self._flush_batch, node)
+
+    def _flush_batch(self, node: SensorNode) -> None:
+        self._batch_scheduled.discard(node.node_id)
+        pending = self._pending_batches.pop(node.node_id, [])
+        now = self.sim.now
+        live = [m for m in pending if now < m.deadline - 1e-3]
+        if not live:
+            return
+        frame = Frame(
+            kind="np-query-batch",
+            src=node.node_id,
+            dst=BROADCAST,
+            size_bytes=12 + NP_QUERY_SIZE_BYTES * len(live),
+            payload=tuple(live),
+        )
+        node.send(frame)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _respond(self, node: SensorNode, msg: NpQueryMessage) -> None:
+        now = self.sim.now
+        if now >= msg.deadline:
+            return
+        if node.radio.is_sleeping:
+            return  # wake override raced the schedule; give up this period
+        report = NpReportMessage(
+            query_id=msg.query_id,
+            k=msg.k,
+            node_id=node.node_id,
+            value=node.read_sensor(),
+        )
+        # Route toward where the user issued the query; the delivering node
+        # relays the final hop to the proxy directly.
+        if node.position.distance_to(msg.issue_position) <= self.config.relay_radius_m:
+            self._relay_to_proxy(node, msg, report)
+            return
+        self.geo.send(
+            origin=node,
+            dest=msg.issue_position,
+            deliver_radius=self.config.relay_radius_m,
+            inner_kind="np-relay",
+            inner_payload=(msg, report),
+            inner_size=NP_REPORT_SIZE_BYTES,
+        )
+
+    def _on_relay(self, node: SensorNode, frame: Frame) -> None:
+        msg, report = frame.payload
+        self._relay_to_proxy(node, msg, report)
+
+    def _relay_to_proxy(
+        self, node: SensorNode, msg: NpQueryMessage, report: NpReportMessage
+    ) -> None:
+        frame = Frame(
+            kind="np-report",
+            src=node.node_id,
+            dst=msg.proxy_id,
+            size_bytes=NP_REPORT_SIZE_BYTES,
+            payload=report,
+        )
+        node.send(frame)

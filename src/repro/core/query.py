@@ -1,0 +1,194 @@
+"""Spatiotemporal query model.
+
+A spatiotemporal query is the paper's six-tuple
+``(α, F, A(Pu(t)), Tperiod, Tfresh, Td)``: an attribute, an aggregation
+function, a query area relative to the user's position (a disk of radius
+``Rq``), the result period, the data-freshness bound, and the query
+lifetime.  The k-th result is due at ``k * Tperiod`` and must aggregate
+readings taken no earlier than ``k * Tperiod - Tfresh``.
+
+:class:`AggregateState` is the partial aggregate that flows up the query
+tree (TAG-style): it carries enough sufficient statistics to finalize any
+supported aggregation function, plus the contributor id set used by the
+fidelity metric.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Set
+
+from ..geometry.areas import AreaTemplate, DiskTemplate, QueryArea
+from ..geometry.vec import Vec2
+
+
+class Aggregation(enum.Enum):
+    """In-network aggregation functions ``F`` supported by the service."""
+
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+    SUM = "sum"
+    COUNT = "count"
+
+
+_query_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """The paper's query six-tuple plus an identity.
+
+    Attributes:
+        attribute: the sensor attribute ``α`` (e.g. ``"temperature"``).
+        aggregation: the aggregation function ``F``.
+        radius_m: query-area radius ``Rq`` around the user (used when no
+            explicit ``area_template`` is given).
+        period_s: ``Tperiod`` — one result is due every period.
+        freshness_s: ``Tfresh`` — readings may be at most this old when the
+            result is delivered.
+        lifetime_s: ``Td`` — the query session length.
+        area_template: optional non-disk query-area shape (sector,
+            corridor, ...) — the extension the paper's Section 3 sketches.
+        query_id: unique id (auto-assigned).
+    """
+
+    attribute: str = "temperature"
+    aggregation: Aggregation = Aggregation.AVG
+    radius_m: float = 150.0
+    period_s: float = 2.0
+    freshness_s: float = 1.0
+    lifetime_s: float = 400.0
+    area_template: Optional[AreaTemplate] = None
+    query_id: int = field(default_factory=lambda: next(_query_ids))
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0:
+            raise ValueError("query radius must be > 0")
+        if self.period_s <= 0:
+            raise ValueError("query period must be > 0")
+        if not 0 < self.freshness_s:
+            raise ValueError("freshness bound must be > 0")
+        if self.lifetime_s < self.period_s:
+            raise ValueError("lifetime must cover at least one period")
+
+    @property
+    def effective_radius_m(self) -> float:
+        """Bounding radius of the query area (``Rq`` for the default disk)."""
+        if self.area_template is not None:
+            return self.area_template.bounding_radius
+        return self.radius_m
+
+    def area_at(self, center: Vec2, heading: Optional[Vec2] = None) -> QueryArea:
+        """The query area anchored at ``center``, oriented along ``heading``."""
+        template = self.area_template or DiskTemplate(self.radius_m)
+        return template.at(center, heading)
+
+    @property
+    def num_periods(self) -> int:
+        """Number of results the user expects (``floor(Td / Tperiod)``)."""
+        return int(self.lifetime_s / self.period_s + 1e-9)
+
+    def deadline(self, k: int) -> float:
+        """Delivery deadline of the k-th result (k starts at 1)."""
+        if k < 1:
+            raise ValueError(f"period index must be >= 1, got {k}")
+        return k * self.period_s
+
+    def sense_time(self, k: int) -> float:
+        """Earliest reading time that is still fresh at the k-th deadline."""
+        return self.deadline(k) - self.freshness_s
+
+
+@dataclass
+class AggregateState:
+    """Mergeable partial aggregate (sufficient statistics + contributors)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    contributors: Set[int] = field(default_factory=set)
+
+    @staticmethod
+    def from_reading(node_id: int, value: float) -> "AggregateState":
+        """A singleton aggregate for one node's reading."""
+        return AggregateState(
+            count=1,
+            total=value,
+            minimum=value,
+            maximum=value,
+            contributors={node_id},
+        )
+
+    def merge(self, other: "AggregateState") -> None:
+        """Fold ``other`` into this partial (idempotent per contributor).
+
+        Duplicate contributors (a node heard through two paths) are counted
+        once: the contributor set is authoritative and the statistics skip
+        already-merged singletons when detectable.  In the tree protocol a
+        node reports to exactly one parent, so duplicates only arise from
+        MAC-level retransmission races, which the contributor check absorbs.
+        """
+        if other.count == 1:
+            (only,) = other.contributors
+            if only in self.contributors:
+                return
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            self.minimum = (
+                other.minimum
+                if self.minimum is None
+                else min(self.minimum, other.minimum)
+            )
+        if other.maximum is not None:
+            self.maximum = (
+                other.maximum
+                if self.maximum is None
+                else max(self.maximum, other.maximum)
+            )
+        self.contributors |= other.contributors
+
+    def copy(self) -> "AggregateState":
+        """An independent copy (what a report message should carry)."""
+        return AggregateState(
+            count=self.count,
+            total=self.total,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            contributors=set(self.contributors),
+        )
+
+    def value(self, aggregation: Aggregation) -> Optional[float]:
+        """Finalize the aggregate; None when no readings contributed."""
+        if self.count == 0:
+            return None
+        if aggregation is Aggregation.COUNT:
+            return float(self.count)
+        if aggregation is Aggregation.SUM:
+            return self.total
+        if aggregation is Aggregation.AVG:
+            return self.total / self.count
+        if aggregation is Aggregation.MIN:
+            return self.minimum
+        return self.maximum
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A finalized per-period result as seen by the user."""
+
+    query_id: int
+    k: int
+    deadline: float
+    delivered_at: float
+    value: Optional[float]
+    contributors: FrozenSet[int]
+
+    @property
+    def on_time(self) -> bool:
+        """Whether the result met its delivery deadline."""
+        return self.delivered_at <= self.deadline + 1e-9

@@ -1,0 +1,228 @@
+"""Experiment runner: build a world from a config, run it, score it.
+
+``run_experiment`` is the one entry point every figure module and example
+uses: it assembles the kernel, network, CCP backbone, routing/flooding,
+the requested service variant and the user's mobility + profile pipeline,
+runs the session, and returns a :class:`RunResult` bundling all metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from ..core.baseline import NoPrefetchProtocol
+from ..core.gateway import BaseGateway, MobiQueryGateway, NoPrefetchGateway
+from ..core.metrics import (
+    ContentionTracker,
+    PowerReport,
+    SessionMetrics,
+    StorageTracker,
+    build_session_metrics,
+    measure_power,
+)
+from ..core.query import QuerySpec
+from ..core.service import MobiQueryConfig, MobiQueryProtocol
+from ..geometry.vec import Vec2
+from ..mobility.gps import GpsModel
+from ..mobility.models import random_direction_path
+from ..mobility.path import PiecewisePath
+from ..mobility.planner import FullKnowledgeProvider, PlannerProfileProvider
+from ..mobility.predictor import HistoryPredictorProvider
+from ..mobility.profile import ProfileProvider
+from ..net.flooding import FloodManager
+from ..net.network import build_network
+from ..net.node import MobileEndpoint
+from ..net.routing import GeoRouter
+from ..power.ccp import CcpProtocol
+from ..sim.kernel import Simulator
+from ..sim.rng import RandomStreams
+from ..sim.trace import Tracer
+from .config import (
+    MODE_GREEDY,
+    MODE_IDLE,
+    MODE_JIT,
+    MODE_NP,
+    PROFILE_FULL,
+    PROFILE_PLANNER,
+    PROFILE_PREDICTOR,
+    ExperimentConfig,
+)
+
+#: node id assigned to the user's proxy endpoint
+PROXY_NODE_ID = 100_000
+
+#: extra simulated time after the last deadline (late stragglers, GC)
+RUN_TAIL_S = 0.5
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one run."""
+
+    config: ExperimentConfig
+    metrics: Optional[SessionMetrics]
+    power: PowerReport
+    backbone_size: int
+    max_prefetch_length: int
+    max_tree_states: int
+    interference_length: int
+    frames_sent: int
+    frames_collided: int
+    events_executed: int
+
+    @property
+    def success_ratio(self) -> float:
+        """Headline number (0.0 for idle runs)."""
+        return self.metrics.success_ratio() if self.metrics else 0.0
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    """Run one full session described by ``config``."""
+    sim = Simulator()
+    streams = RandomStreams(config.seed)
+    tracer = Tracer()
+    # De-align the shared beacon schedule from the query start: real users
+    # issue queries at arbitrary phases of the PSM cycle.
+    psm_offset = float(
+        streams.stream("psm").uniform(0.0, config.network.sleep_period_s)
+    )
+    network_config = replace(config.network, psm_offset_s=psm_offset)
+    network = build_network(sim, network_config, streams, tracer)
+    CcpProtocol().apply(network, streams)
+    geo = GeoRouter(network)
+    flood = FloodManager(network)
+    true_path = _make_user_path(config, streams)
+    proxy = MobileEndpoint(
+        node_id=PROXY_NODE_ID,
+        sim=sim,
+        channel=network.channel,
+        rng=streams.stream("proxy"),
+        position_fn=true_path.position_at,
+        mac_config=config.network.mac,
+        tracer=tracer,
+    )
+    network.channel.register_mobile(proxy)
+    spec = QuerySpec(
+        attribute=config.query.attribute,
+        aggregation=config.query.aggregation,
+        radius_m=config.query.radius_m,
+        period_s=config.query.period_s,
+        freshness_s=config.query.freshness_s,
+        lifetime_s=config.duration_s,
+    )
+    gateway: Optional[BaseGateway] = None
+    storage: Optional[StorageTracker] = None
+    contention: Optional[ContentionTracker] = None
+    if config.mode in (MODE_JIT, MODE_GREEDY):
+        protocol = MobiQueryProtocol(
+            network,
+            geo,
+            MobiQueryConfig(
+                prefetch_policy=config.mode,
+                pickup_radius_m=config.pickup_radius_m,
+                parent_upgrade=config.parent_upgrade,
+                redeliver_setups=config.redeliver_setups,
+            ),
+            tracer,
+        )
+        provider = _make_profile_provider(config, true_path, streams)
+        storage = StorageTracker(tracer, spec)
+        contention = ContentionTracker(
+            tracer,
+            sleep_period_s=config.network.sleep_period_s,
+            active_window_s=config.network.active_window_s,
+            query_radius_m=config.query.radius_m,
+            comm_range_m=config.network.comm_range_m,
+            psm_offset_s=psm_offset,
+        )
+        mq_gateway = MobiQueryGateway(proxy, network, spec, protocol, provider, tracer)
+        mq_gateway.start()
+        gateway = mq_gateway
+    elif config.mode == MODE_NP:
+        np_protocol = NoPrefetchProtocol(network, geo, flood, tracer=tracer)
+        np_gateway = NoPrefetchGateway(proxy, network, spec, np_protocol, flood, tracer)
+        np_gateway.start()
+        gateway = np_gateway
+    elif config.mode != MODE_IDLE:  # pragma: no cover - config validates
+        raise ValueError(f"unhandled mode {config.mode!r}")
+
+    sim.run(until=config.duration_s + RUN_TAIL_S)
+
+    metrics = None
+    if gateway is not None:
+        metrics = build_session_metrics(
+            gateway,
+            network,
+            spec,
+            true_path,
+            config.duration_s,
+            fidelity_threshold=config.fidelity_threshold,
+        )
+    return RunResult(
+        config=config,
+        metrics=metrics,
+        power=measure_power(network),
+        backbone_size=len(network.active_nodes),
+        max_prefetch_length=storage.max_prefetch_length if storage else 0,
+        max_tree_states=storage.max_tree_states if storage else 0,
+        interference_length=contention.interference_length() if contention else 0,
+        frames_sent=network.channel.frames_sent,
+        frames_collided=network.channel.frames_collided,
+        events_executed=sim.events_executed,
+    )
+
+
+def run_replications(config: ExperimentConfig, seeds: List[int]) -> List[RunResult]:
+    """Run the same config across several topologies/motions (paper: 3–5)."""
+    return [run_experiment(config.with_seed(seed)) for seed in seeds]
+
+
+def mean_success_ratio(results: List[RunResult]) -> float:
+    """Average success ratio over replications."""
+    if not results:
+        return 0.0
+    return sum(r.success_ratio for r in results) / len(results)
+
+
+# ----------------------------------------------------------------------
+# Pieces
+# ----------------------------------------------------------------------
+def _make_user_path(
+    config: ExperimentConfig, streams: RandomStreams
+) -> PiecewisePath:
+    """The paper's user motion: random-direction from the region corner."""
+    region = config.network.region
+    start = Vec2(
+        region.x_min + config.mobility.margin_m,
+        region.y_min + config.mobility.margin_m,
+    )
+    return random_direction_path(
+        region=region,
+        duration_s=config.duration_s,
+        config=config.mobility,
+        rng=streams.stream("mobility"),
+        start=start,
+    )
+
+
+def _make_profile_provider(
+    config: ExperimentConfig,
+    true_path: PiecewisePath,
+    streams: RandomStreams,
+) -> ProfileProvider:
+    if config.profile_mode == PROFILE_FULL:
+        return FullKnowledgeProvider(true_path, config.duration_s)
+    if config.profile_mode == PROFILE_PLANNER:
+        return PlannerProfileProvider(
+            true_path, config.duration_s, advance_time_s=config.advance_time_s
+        )
+    if config.profile_mode == PROFILE_PREDICTOR:
+        return HistoryPredictorProvider(
+            true_path,
+            config.duration_s,
+            gps=GpsModel(max_error_m=config.gps_error_m),
+            rng=streams.stream("gps"),
+            sampling_period_s=config.sampling_period_s,
+        )
+    raise ValueError(f"unhandled profile mode {config.profile_mode!r}")

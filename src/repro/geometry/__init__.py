@@ -1,0 +1,35 @@
+"""2-D geometry primitives: vectors, circles, rectangles, areas, grid."""
+
+from .areas import (
+    AreaTemplate,
+    DiskTemplate,
+    QueryArea,
+    RectTemplate,
+    SectorTemplate,
+)
+from .grid import SpatialGrid
+from .shapes import (
+    Circle,
+    Rect,
+    is_point_covered,
+    is_point_k_covered,
+    points_in_circle,
+    segment_point_distance,
+)
+from .vec import Vec2
+
+__all__ = [
+    "Vec2",
+    "QueryArea",
+    "AreaTemplate",
+    "DiskTemplate",
+    "SectorTemplate",
+    "RectTemplate",
+    "Circle",
+    "Rect",
+    "SpatialGrid",
+    "points_in_circle",
+    "is_point_covered",
+    "is_point_k_covered",
+    "segment_point_distance",
+]

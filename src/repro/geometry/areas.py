@@ -1,0 +1,165 @@
+"""Query-area shapes beyond the paper's default disk.
+
+Section 3 of the paper: "we assume A(Pu(t)) is a circle with radius Rq
+centered around the user ..., although our design can be easily extended to
+other types of query areas."  This module is that extension: a query area
+is any shape with a containment test and a bounding radius (used for flood
+scoping, the eq. (1) sub-deadline reach, and spatial indexing), built from
+an :class:`AreaTemplate` anchored at the user's predicted position and
+oriented along their predicted heading.
+
+Shipped templates:
+
+* :class:`DiskTemplate` — the paper's default.
+* :class:`SectorTemplate` — a forward-facing wedge; natural for a moving
+  user who cares about what is ahead (the firefighter looks where he
+  walks).
+* :class:`RectTemplate` — a corridor along the direction of travel; natural
+  for a vehicle following a road.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .vec import Vec2
+
+
+@dataclass(frozen=True)
+class QueryArea:
+    """A placed, oriented query area (template + anchor + heading).
+
+    ``contains`` is the spatial constraint; ``center``/``bounding_radius``
+    bound the area for routing and flood scoping.
+    """
+
+    template: "AreaTemplate"
+    center: Vec2
+    heading: Vec2
+
+    def contains(self, point: Vec2, tol: float = 1e-9) -> bool:
+        """Whether ``point`` lies inside the area."""
+        return self.template.contains_local(self.center, self.heading, point, tol)
+
+    @property
+    def bounding_radius(self) -> float:
+        """Radius of the smallest center-anchored disk covering the area."""
+        return self.template.bounding_radius
+
+    # Back-compat with code written against geometry.shapes.Circle:
+    @property
+    def radius(self) -> float:
+        """Alias for :attr:`bounding_radius`."""
+        return self.template.bounding_radius
+
+
+class AreaTemplate:
+    """Interface: a user-relative query-area shape."""
+
+    #: radius of the smallest anchored disk covering the shape
+    bounding_radius: float = 0.0
+
+    def at(self, center: Vec2, heading: Optional[Vec2] = None) -> QueryArea:
+        """Anchor the template at ``center``, oriented along ``heading``.
+
+        A zero or missing heading falls back to +x; only direction matters.
+        """
+        if heading is None or heading.norm_sq() < 1e-18:
+            heading = Vec2(1.0, 0.0)
+        else:
+            heading = heading.normalized()
+        return QueryArea(template=self, center=center, heading=heading)
+
+    def contains_local(
+        self, center: Vec2, heading: Vec2, point: Vec2, tol: float
+    ) -> bool:
+        """Containment test for a placed instance."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DiskTemplate(AreaTemplate):
+    """The paper's circular query area of radius ``Rq``."""
+
+    radius_m: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0:
+            raise ValueError("disk radius must be > 0")
+
+    @property
+    def bounding_radius(self) -> float:
+        return self.radius_m
+
+    def contains_local(
+        self, center: Vec2, heading: Vec2, point: Vec2, tol: float
+    ) -> bool:
+        return center.distance_sq_to(point) <= (self.radius_m + tol) ** 2
+
+
+@dataclass(frozen=True)
+class SectorTemplate(AreaTemplate):
+    """A forward wedge: radius ``Rq``, half-angle around the heading.
+
+    The anchor point itself (and a small disk around it, ``hub_radius_m``)
+    is always included so the user's immediate surroundings are never
+    blind, matching how a forward-looking query would be specified.
+    """
+
+    radius_m: float = 150.0
+    half_angle_deg: float = 60.0
+    hub_radius_m: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0:
+            raise ValueError("sector radius must be > 0")
+        if not 0 < self.half_angle_deg <= 180:
+            raise ValueError("half angle must be in (0, 180] degrees")
+        if self.hub_radius_m < 0:
+            raise ValueError("hub radius must be >= 0")
+
+    @property
+    def bounding_radius(self) -> float:
+        return self.radius_m
+
+    def contains_local(
+        self, center: Vec2, heading: Vec2, point: Vec2, tol: float
+    ) -> bool:
+        offset = point - center
+        distance_sq = offset.norm_sq()
+        if distance_sq <= (self.hub_radius_m + tol) ** 2:
+            return True
+        if distance_sq > (self.radius_m + tol) ** 2:
+            return False
+        cos_limit = math.cos(math.radians(self.half_angle_deg))
+        distance = math.sqrt(distance_sq)
+        return offset.dot(heading) >= cos_limit * distance - tol
+
+
+@dataclass(frozen=True)
+class RectTemplate(AreaTemplate):
+    """A corridor centred on the user, long axis along the heading."""
+
+    length_m: float = 300.0
+    width_m: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.length_m <= 0 or self.width_m <= 0:
+            raise ValueError("corridor dimensions must be > 0")
+
+    @property
+    def bounding_radius(self) -> float:
+        return math.hypot(self.length_m / 2.0, self.width_m / 2.0)
+
+    def contains_local(
+        self, center: Vec2, heading: Vec2, point: Vec2, tol: float
+    ) -> bool:
+        offset = point - center
+        along = offset.dot(heading)
+        across = offset.cross(heading)
+        return (
+            abs(along) <= self.length_m / 2.0 + tol
+            and abs(across) <= self.width_m / 2.0 + tol
+        )

@@ -1,0 +1,141 @@
+"""Spatial hash grid for neighbourhood queries.
+
+The sensor field is static, so neighbour discovery is a one-time cost — but
+the mobile user's proxy re-queries "which nodes are within range of me?" on
+every contact, and experiment code repeatedly asks "which nodes fall in this
+query area?".  A uniform bucket grid answers disk queries in time
+proportional to the local density instead of scanning all nodes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, List, Tuple, TypeVar
+
+from .vec import Vec2
+
+T = TypeVar("T")
+
+
+class SpatialGrid(Generic[T]):
+    """Uniform grid mapping cell coordinates to the items placed in them.
+
+    Items are arbitrary hashable objects registered together with a fixed
+    position.  ``cell_size`` should be on the order of the most common query
+    radius (the radio range works well) so that disk queries touch only a
+    handful of cells.
+    """
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be > 0, got {cell_size}")
+        self.cell_size = cell_size
+        self._cells: Dict[Tuple[int, int], List[Tuple[Vec2, T]]] = defaultdict(list)
+        self._positions: Dict[T, Vec2] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _cell_of(self, point: Vec2) -> Tuple[int, int]:
+        return (int(point.x // self.cell_size), int(point.y // self.cell_size))
+
+    def insert(self, item: T, position: Vec2) -> None:
+        """Register ``item`` at ``position``.
+
+        Raises:
+            ValueError: if the item was already inserted (static field —
+                re-registration is almost certainly a bug).
+        """
+        if item in self._positions:
+            raise ValueError(f"item {item!r} already present in grid")
+        self._positions[item] = position
+        self._cells[self._cell_of(position)].append((position, item))
+
+    def insert_many(self, items: Iterable[Tuple[T, Vec2]]) -> None:
+        """Register many ``(item, position)`` pairs."""
+        for item, position in items:
+            self.insert(item, position)
+
+    def remove(self, item: T) -> None:
+        """Unregister ``item``.
+
+        Raises:
+            KeyError: if the item is not present.
+        """
+        position = self._positions.pop(item)
+        bucket = self._cells[self._cell_of(position)]
+        bucket[:] = [(p, it) for (p, it) in bucket if it != item]
+
+    def position_of(self, item: T) -> Vec2:
+        """The position ``item`` was registered at."""
+        return self._positions[item]
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._positions
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_disk(self, center: Vec2, radius: float) -> List[T]:
+        """All items within ``radius`` of ``center`` (boundary included)."""
+        if radius < 0:
+            return []
+        r_sq = radius * radius
+        cs = self.cell_size
+        cx_min = int((center.x - radius) // cs)
+        cx_max = int((center.x + radius) // cs)
+        cy_min = int((center.y - radius) // cs)
+        cy_max = int((center.y + radius) // cs)
+        found: List[T] = []
+        cells = self._cells
+        for cx in range(cx_min, cx_max + 1):
+            for cy in range(cy_min, cy_max + 1):
+                bucket = cells.get((cx, cy))
+                if not bucket:
+                    continue
+                for position, item in bucket:
+                    dx = position.x - center.x
+                    dy = position.y - center.y
+                    if dx * dx + dy * dy <= r_sq + 1e-9:
+                        found.append(item)
+        return found
+
+    def query_disk_excluding(
+        self, center: Vec2, radius: float, excluded: T
+    ) -> List[T]:
+        """Disk query that drops one item (typically the querying node)."""
+        return [it for it in self.query_disk(center, radius) if it != excluded]
+
+    def nearest(self, center: Vec2) -> T:
+        """The registered item closest to ``center``.
+
+        Searches outward ring by ring; falls back to a full scan only if the
+        grid is sparse relative to the query point.
+
+        Raises:
+            ValueError: if the grid is empty.
+        """
+        if not self._positions:
+            raise ValueError("nearest() on empty grid")
+        # Expanding-ring search: try radius = cell, 2*cell, 4*cell, ...
+        radius = self.cell_size
+        max_radius = self._max_extent(center)
+        while radius <= max_radius * 2:
+            candidates = self.query_disk(center, radius)
+            if candidates:
+                return min(
+                    candidates, key=lambda it: self._positions[it].distance_sq_to(center)
+                )
+            radius *= 2
+        return min(
+            self._positions, key=lambda it: self._positions[it].distance_sq_to(center)
+        )
+
+    def _max_extent(self, center: Vec2) -> float:
+        extent = 0.0
+        for position in self._positions.values():
+            extent = max(extent, position.distance_to(center))
+        return extent if extent > 0 else self.cell_size

@@ -1,0 +1,24 @@
+"""User mobility: paths, motion models, GPS, motion profiles, prediction."""
+
+from .gps import GpsModel, GpsReading
+from .models import RandomDirectionConfig, patrol_path, random_direction_path
+from .path import PiecewisePath, Waypoint
+from .planner import FullKnowledgeProvider, PlannerProfileProvider
+from .predictor import HistoryPredictorProvider
+from .profile import MotionProfile, ProfileArrival, ProfileProvider
+
+__all__ = [
+    "PiecewisePath",
+    "Waypoint",
+    "RandomDirectionConfig",
+    "random_direction_path",
+    "patrol_path",
+    "GpsModel",
+    "GpsReading",
+    "MotionProfile",
+    "ProfileArrival",
+    "ProfileProvider",
+    "FullKnowledgeProvider",
+    "PlannerProfileProvider",
+    "HistoryPredictorProvider",
+]

@@ -1,0 +1,46 @@
+"""GPS location sampling with bounded error.
+
+Section 6.3 of the paper models each GPS reading with "a random location
+error within 0 ~ Δ meters", with Δ = 5 m (differential correction) or
+Δ = 10 m (without).  We sample an error vector with uniform magnitude in
+``[0, max_error]`` and uniform direction, applied to the true position from
+the mobility path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.vec import Vec2
+from .path import PiecewisePath
+
+
+@dataclass(frozen=True)
+class GpsReading:
+    """One timestamped (noisy) position fix."""
+
+    time: float
+    position: Vec2
+
+
+class GpsModel:
+    """Samples noisy position fixes off a true trajectory."""
+
+    def __init__(self, max_error_m: float = 0.0) -> None:
+        if max_error_m < 0:
+            raise ValueError(f"max error must be >= 0, got {max_error_m}")
+        self.max_error_m = max_error_m
+
+    def read(
+        self, true_path: PiecewisePath, time: float, rng: np.random.Generator
+    ) -> GpsReading:
+        """A fix at ``time``: true position plus a bounded random offset."""
+        position = true_path.position_at(time)
+        if self.max_error_m > 0:
+            magnitude = float(rng.uniform(0.0, self.max_error_m))
+            angle = float(rng.uniform(0.0, 2.0 * math.pi))
+            position = position + Vec2.from_polar(magnitude, angle)
+        return GpsReading(time, position)

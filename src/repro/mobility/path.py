@@ -1,0 +1,145 @@
+"""Time-parameterized piecewise-linear paths.
+
+Both the user's true trajectory and the predicted trajectories inside motion
+profiles are piecewise-linear functions of time.  A path is a sorted list of
+``(time, position)`` waypoints; position between waypoints is linear
+interpolation, and the path is clamped (the user stands still) outside its
+time span.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..geometry.vec import Vec2
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """A position pinned to a time."""
+
+    time: float
+    position: Vec2
+
+
+class PiecewisePath:
+    """Piecewise-linear trajectory through a sequence of waypoints."""
+
+    def __init__(self, waypoints: Sequence[Waypoint]) -> None:
+        if not waypoints:
+            raise ValueError("a path needs at least one waypoint")
+        times = [w.time for w in waypoints]
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise ValueError("waypoint times must be strictly increasing")
+        self.waypoints: List[Waypoint] = list(waypoints)
+        self._times = times
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def stationary(position: Vec2, at_time: float = 0.0) -> "PiecewisePath":
+        """A degenerate path: standing still at ``position``."""
+        return PiecewisePath([Waypoint(at_time, position)])
+
+    @staticmethod
+    def from_velocity(
+        start: Vec2, velocity: Vec2, start_time: float, duration: float
+    ) -> "PiecewisePath":
+        """Straight-line motion at constant ``velocity`` for ``duration``.
+
+        This is the shape every history-based motion profile has (paper
+        Section 4.1.1: assume the user keeps moving at the estimated v).
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        return PiecewisePath(
+            [
+                Waypoint(start_time, start),
+                Waypoint(start_time + duration, start + velocity * duration),
+            ]
+        )
+
+    @staticmethod
+    def from_segments(
+        start: Vec2,
+        start_time: float,
+        segments: Sequence[Tuple[Vec2, float]],
+    ) -> "PiecewisePath":
+        """Chain ``(velocity, duration)`` segments from a starting point."""
+        waypoints = [Waypoint(start_time, start)]
+        t, p = start_time, start
+        for velocity, duration in segments:
+            if duration <= 0:
+                raise ValueError("segment durations must be > 0")
+            t += duration
+            p = p + velocity * duration
+            waypoints.append(Waypoint(t, p))
+        return PiecewisePath(waypoints)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def start_time(self) -> float:
+        return self.waypoints[0].time
+
+    @property
+    def end_time(self) -> float:
+        return self.waypoints[-1].time
+
+    def position_at(self, t: float) -> Vec2:
+        """Position at time ``t``; clamped before the start / after the end."""
+        wps = self.waypoints
+        if t <= wps[0].time:
+            return wps[0].position
+        if t >= wps[-1].time:
+            return wps[-1].position
+        idx = bisect.bisect_right(self._times, t) - 1
+        a, b = wps[idx], wps[idx + 1]
+        frac = (t - a.time) / (b.time - a.time)
+        return a.position.lerp(b.position, frac)
+
+    def velocity_at(self, t: float) -> Vec2:
+        """Velocity at time ``t`` (zero outside the span; left-continuous
+        at waypoints)."""
+        wps = self.waypoints
+        if t < wps[0].time or t >= wps[-1].time or len(wps) == 1:
+            return Vec2.zero()
+        idx = bisect.bisect_right(self._times, t) - 1
+        a, b = wps[idx], wps[idx + 1]
+        return (b.position - a.position) / (b.time - a.time)
+
+    def restricted(self, t0: float, t1: float) -> "PiecewisePath":
+        """The sub-path covering ``[t0, t1]`` (endpoints interpolated).
+
+        Used by the motion planner to hand MobiQuery exactly the validity
+        window of a profile.
+        """
+        if t1 <= t0:
+            raise ValueError(f"empty restriction [{t0}, {t1}]")
+        points = [Waypoint(t0, self.position_at(t0))]
+        for waypoint in self.waypoints:
+            if t0 < waypoint.time < t1:
+                points.append(waypoint)
+        points.append(Waypoint(t1, self.position_at(t1)))
+        return PiecewisePath(points)
+
+    def change_times(self) -> List[float]:
+        """Times at which the velocity changes (interior waypoints)."""
+        return [w.time for w in self.waypoints[1:-1]]
+
+    def total_distance(self) -> float:
+        """Arc length of the whole path."""
+        return sum(
+            a.position.distance_to(b.position)
+            for a, b in zip(self.waypoints, self.waypoints[1:])
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PiecewisePath {len(self.waypoints)} wps "
+            f"[{self.start_time:.1f}, {self.end_time:.1f}]s>"
+        )

@@ -1,0 +1,82 @@
+"""Planner-style motion profiles: exact paths with a configurable lead time.
+
+A motion planner (a robot that controls its own movement, Section 4.1.1)
+knows each upcoming leg exactly and can hand the profile to MobiQuery
+``Ta`` seconds before the leg starts.  Negative ``Ta`` models late delivery
+of otherwise-exact profiles — the pure "advance time" axis the paper sweeps
+in Figure 6 (``Ta`` from -6 s to 18 s) without conflating prediction error.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .path import PiecewisePath
+from .profile import MotionProfile, ProfileArrival, ProfileProvider
+
+
+class FullKnowledgeProvider(ProfileProvider):
+    """One exact profile covering the whole run, delivered at t=0.
+
+    This is the Section 6.2 setting: "the motion profile that specifies the
+    complete user path is provided to MobiQuery at the beginning of each
+    simulation".
+    """
+
+    def __init__(self, true_path: PiecewisePath, duration_s: float) -> None:
+        if duration_s <= 0:
+            raise ValueError("duration must be > 0")
+        self.true_path = true_path
+        self.duration_s = duration_s
+
+    def arrivals(self) -> List[ProfileArrival]:
+        profile = MotionProfile(
+            path=self.true_path,
+            ts=0.0,
+            validity_s=self.duration_s,
+            tg=0.0,
+        )
+        return [ProfileArrival(time=0.0, profile=profile)]
+
+
+class PlannerProfileProvider(ProfileProvider):
+    """One exact profile per motion leg, arriving ``Ta`` before the leg.
+
+    For a leg starting at change time ``c`` the profile has ``ts = c``,
+    ``tg = c - Ta`` and covers the leg exactly; it physically arrives at
+    ``max(0, tg)`` (nothing can arrive before the run starts, which is why
+    even large ``Ta`` keeps the paper's *initial* warmup phase).
+    """
+
+    def __init__(
+        self,
+        true_path: PiecewisePath,
+        duration_s: float,
+        advance_time_s: float,
+    ) -> None:
+        if duration_s <= 0:
+            raise ValueError("duration must be > 0")
+        self.true_path = true_path
+        self.duration_s = duration_s
+        self.advance_time_s = advance_time_s
+
+    def _leg_boundaries(self) -> List[float]:
+        changes = [t for t in self.true_path.change_times() if t < self.duration_s]
+        return [0.0] + changes + [self.duration_s]
+
+    def arrivals(self) -> List[ProfileArrival]:
+        boundaries = self._leg_boundaries()
+        arrivals: List[ProfileArrival] = []
+        for leg_start, leg_end in zip(boundaries, boundaries[1:]):
+            if leg_end <= leg_start:
+                continue
+            tg = leg_start - self.advance_time_s
+            profile = MotionProfile(
+                path=self.true_path.restricted(leg_start, leg_end),
+                ts=leg_start,
+                validity_s=leg_end - leg_start,
+                tg=tg,
+            )
+            arrivals.append(ProfileArrival(time=max(0.0, tg), profile=profile))
+        arrivals.sort(key=lambda a: a.time)
+        return arrivals

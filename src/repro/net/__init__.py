@@ -1,0 +1,57 @@
+"""Wireless network substrate: channel, MAC, PSM, energy, nodes, routing."""
+
+from .channel import Channel, Reception
+from .energy import PAPER_POWER_MODEL, EnergyMeter, PowerModel, RadioState
+from .field import (
+    GradientField,
+    Hotspot,
+    HotspotField,
+    ScalarField,
+    UniformField,
+    fire_scenario_field,
+)
+from .flooding import FloodEnvelope, FloodManager
+from .mac import MacConfig, MacLayer
+from .network import Network, NetworkConfig, build_network, uniform_positions
+from .node import ROLE_ACTIVE, ROLE_SLEEPER, MobileEndpoint, SensorNode
+from .packet import ACK_SIZE_BYTES, BROADCAST, MAC_HEADER_BYTES, Frame
+from .psm import PsmConfig, SleepScheduler, delivery_time
+from .radio import Radio
+from .routing import GeoEnvelope, GeoRouter
+
+__all__ = [
+    "Channel",
+    "Reception",
+    "EnergyMeter",
+    "PowerModel",
+    "PAPER_POWER_MODEL",
+    "RadioState",
+    "ScalarField",
+    "UniformField",
+    "GradientField",
+    "Hotspot",
+    "HotspotField",
+    "fire_scenario_field",
+    "FloodManager",
+    "FloodEnvelope",
+    "MacConfig",
+    "MacLayer",
+    "Network",
+    "NetworkConfig",
+    "build_network",
+    "uniform_positions",
+    "SensorNode",
+    "MobileEndpoint",
+    "ROLE_ACTIVE",
+    "ROLE_SLEEPER",
+    "Frame",
+    "BROADCAST",
+    "MAC_HEADER_BYTES",
+    "ACK_SIZE_BYTES",
+    "PsmConfig",
+    "SleepScheduler",
+    "delivery_time",
+    "Radio",
+    "GeoRouter",
+    "GeoEnvelope",
+]

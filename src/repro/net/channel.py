@@ -1,0 +1,263 @@
+"""Wireless channel: unit-disk propagation, airtime, receiver-side collisions.
+
+The channel is the broker between transmitting radios and listening ones:
+
+* **Propagation** is the unit-disk model the paper's ns-2 setup approximates
+  (communication range ``Rc = 105 m`` in the evaluation).  Propagation delay
+  is negligible at these ranges and is folded into airtime.
+* **Airtime** is ``preamble + 8 * wire_bytes / bitrate`` (2 Mb/s in the
+  paper's simulations).
+* **Collisions** are detected per receiver: two frames overlapping in time
+  at a listening radio corrupt each other.  There is no capture effect,
+  matching the default ns-2 two-state model the paper used.
+* **Carrier sense**: a node senses the medium busy when any in-range
+  transmission is in flight.  Senders that honour carrier sense therefore
+  collide mainly through hidden terminals and same-slot backoff expiry —
+  the loss mechanism behind MQ-GP's fidelity variance in Figure 5.
+
+Static sensor nodes are indexed in a spatial grid once; mobile endpoints
+(the user's proxy) are tracked separately and evaluated against positions at
+transmission start.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol
+
+from ..geometry.grid import SpatialGrid
+from ..geometry.vec import Vec2
+from ..sim.kernel import Simulator
+from ..sim.trace import Tracer
+from .packet import Frame
+from .radio import Radio
+
+
+class ChannelEndpoint(Protocol):
+    """What the channel needs from anything that owns a radio."""
+
+    node_id: int
+    radio: Radio
+
+    def position_at(self, time: float) -> Vec2:
+        """Endpoint position at ``time`` (constant for sensor nodes)."""
+        ...
+
+    def deliver_frame(self, frame: Frame) -> None:
+        """Hand a successfully received frame to the endpoint's MAC."""
+        ...
+
+
+class Reception:
+    """One frame in flight at one receiver."""
+
+    __slots__ = ("frame", "receiver", "corrupted", "reason")
+
+    def __init__(self, frame: Frame, receiver: ChannelEndpoint) -> None:
+        self.frame = frame
+        self.receiver = receiver
+        self.corrupted = False
+        self.reason: Optional[str] = None
+
+    def corrupt(self, reason: str) -> None:
+        """Mark the reception as failed (idempotent; first reason wins)."""
+        if not self.corrupted:
+            self.corrupted = True
+            self.reason = reason
+
+
+class _ActiveTransmission:
+    """Bookkeeping for one transmission while it is on the air."""
+
+    __slots__ = ("frame", "sender_id", "position", "end_time", "receptions")
+
+    def __init__(
+        self,
+        frame: Frame,
+        sender_id: int,
+        position: Vec2,
+        end_time: float,
+        receptions: List[Reception],
+    ) -> None:
+        self.frame = frame
+        self.sender_id = sender_id
+        self.position = position
+        self.end_time = end_time
+        self.receptions = receptions
+
+
+class Channel:
+    """The shared medium connecting all registered endpoints."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        comm_range: float,
+        bitrate_bps: float,
+        tracer: Optional[Tracer] = None,
+        preamble_s: float = 192e-6,
+    ) -> None:
+        """Args:
+        sim: event kernel.
+        comm_range: unit-disk radius ``Rc`` in metres.
+        bitrate_bps: link bitrate (2e6 in the paper's evaluation).
+        tracer: optional tracer; emits ``tx``, ``rx``, ``collision`` kinds.
+        preamble_s: fixed PHY preamble/PLCP time per frame (802.11 long
+            preamble at 1 Mb/s is 192 us).
+        """
+        if comm_range <= 0:
+            raise ValueError(f"comm_range must be > 0, got {comm_range}")
+        if bitrate_bps <= 0:
+            raise ValueError(f"bitrate must be > 0, got {bitrate_bps}")
+        self.sim = sim
+        self.comm_range = comm_range
+        self.bitrate_bps = bitrate_bps
+        self.preamble_s = preamble_s
+        self.tracer = tracer
+        self._grid: SpatialGrid[int] = SpatialGrid(cell_size=comm_range)
+        self._static: Dict[int, ChannelEndpoint] = {}
+        self._mobile: Dict[int, ChannelEndpoint] = {}
+        self._active: List[_ActiveTransmission] = []
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_collided = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_static(self, endpoint: ChannelEndpoint) -> None:
+        """Register a fixed-position endpoint (sensor node)."""
+        if endpoint.node_id in self._static or endpoint.node_id in self._mobile:
+            raise ValueError(f"endpoint {endpoint.node_id} already registered")
+        self._static[endpoint.node_id] = endpoint
+        self._grid.insert(endpoint.node_id, endpoint.position_at(0.0))
+
+    def register_mobile(self, endpoint: ChannelEndpoint) -> None:
+        """Register a moving endpoint (the user's proxy)."""
+        if endpoint.node_id in self._static or endpoint.node_id in self._mobile:
+            raise ValueError(f"endpoint {endpoint.node_id} already registered")
+        self._mobile[endpoint.node_id] = endpoint
+
+    def endpoint(self, node_id: int) -> ChannelEndpoint:
+        """Look up a registered endpoint by id."""
+        ep = self._static.get(node_id) or self._mobile.get(node_id)
+        if ep is None:
+            raise KeyError(f"no endpoint with id {node_id}")
+        return ep
+
+    # ------------------------------------------------------------------
+    # Physical-layer queries
+    # ------------------------------------------------------------------
+    def airtime(self, frame: Frame) -> float:
+        """Seconds the frame occupies the medium."""
+        return self.preamble_s + (frame.wire_bytes() * 8.0) / self.bitrate_bps
+
+    def in_range(self, a: ChannelEndpoint, b: ChannelEndpoint, time: float) -> bool:
+        """Whether ``a`` and ``b`` are within communication range at ``time``."""
+        return (
+            a.position_at(time).distance_sq_to(b.position_at(time))
+            <= self.comm_range * self.comm_range + 1e-9
+        )
+
+    def listeners_near(self, position: Vec2, time: float) -> List[ChannelEndpoint]:
+        """All endpoints within range of ``position`` at ``time`` (any state)."""
+        ids = self._grid.query_disk(position, self.comm_range)
+        found = [self._static[i] for i in ids]
+        r_sq = self.comm_range * self.comm_range
+        for ep in self._mobile.values():
+            if ep.position_at(time).distance_sq_to(position) <= r_sq + 1e-9:
+                found.append(ep)
+        return found
+
+    def medium_busy(self, endpoint: ChannelEndpoint) -> bool:
+        """Carrier sense: is any in-flight transmission within range?
+
+        The endpoint's own transmission does not count (the MAC knows it is
+        transmitting); a sleeping radio cannot sense and reads idle.
+        """
+        if endpoint.radio.is_sleeping:
+            return False
+        now = self.sim.now
+        pos = endpoint.position_at(now)
+        r_sq = self.comm_range * self.comm_range
+        for tx in self._active:
+            if tx.sender_id == endpoint.node_id:
+                continue
+            if tx.position.distance_sq_to(pos) <= r_sq + 1e-9:
+                return True
+        return False
+
+    def busy_until(self, endpoint: ChannelEndpoint) -> Optional[float]:
+        """Latest end time among in-range in-flight transmissions, if any."""
+        now = self.sim.now
+        pos = endpoint.position_at(now)
+        r_sq = self.comm_range * self.comm_range
+        latest: Optional[float] = None
+        for tx in self._active:
+            if tx.sender_id == endpoint.node_id:
+                continue
+            if tx.position.distance_sq_to(pos) <= r_sq + 1e-9:
+                if latest is None or tx.end_time > latest:
+                    latest = tx.end_time
+        return latest
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, sender: ChannelEndpoint, frame: Frame) -> float:
+        """Put ``frame`` on the air from ``sender``; returns its airtime.
+
+        The caller (MAC) is responsible for carrier sense and for not
+        already transmitting.  Reception outcomes resolve when the airtime
+        elapses.
+        """
+        now = self.sim.now
+        duration = self.airtime(frame)
+        position = sender.position_at(now)
+        sender.radio.set_state_tx_guarded()
+        receptions: List[Reception] = []
+        for listener in self.listeners_near(position, now):
+            if listener.node_id == sender.node_id:
+                continue
+            if not listener.radio.is_listening:
+                continue
+            reception = Reception(frame, listener)
+            listener.radio.begin_reception(reception)
+            receptions.append(reception)
+        record = _ActiveTransmission(frame, sender.node_id, position, now + duration, receptions)
+        self._active.append(record)
+        self.frames_sent += 1
+        if self.tracer is not None:
+            self.tracer.emit("tx", now, frame=frame.seq, frame_kind=frame.kind, src=frame.src)
+        self.sim.schedule(duration, self._finish_transmission, sender, record)
+        return duration
+
+    def _finish_transmission(
+        self, sender: ChannelEndpoint, record: _ActiveTransmission
+    ) -> None:
+        self._active.remove(record)
+        sender.radio.end_transmission()
+        now = self.sim.now
+        for reception in record.receptions:
+            reception.receiver.radio.end_reception(reception)
+            if reception.corrupted:
+                self.frames_collided += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "collision",
+                        now,
+                        frame=record.frame.seq,
+                        frame_kind=record.frame.kind,
+                        at=reception.receiver.node_id,
+                        reason=reception.reason,
+                    )
+                continue
+            self.frames_delivered += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "rx",
+                    now,
+                    frame=record.frame.seq,
+                    frame_kind=record.frame.kind,
+                    at=reception.receiver.node_id,
+                )
+            reception.receiver.deliver_frame(record.frame)

@@ -1,0 +1,230 @@
+"""CSMA/CA MAC layer.
+
+A non-persistent CSMA model of 802.11 DCF, with the features the paper's
+results depend on and nothing else:
+
+* carrier sense before transmitting, with DIFS + slotted random backoff,
+* binary exponential backoff on retries,
+* unicast frames acknowledged after SIFS, retransmitted up to a retry
+  limit, with a success/failure callback so routing can fail over,
+* broadcast frames sent once, unacknowledged (flood losses under
+  contention are real losses — the mechanism behind MQ-GP's degradation),
+* duplicate suppression at the receiver (a retransmitted frame whose ACK
+  was lost is re-ACKed but not re-dispatched).
+
+The contention model: a sender samples a backoff delay, then senses the
+medium again immediately before transmitting.  Two senders whose backoffs
+expire within the same slot both see the medium idle and collide at common
+receivers; hidden terminals collide regardless of carrier sense.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional, Tuple
+
+import numpy as np
+
+from ..sim.kernel import EventHandle, Simulator
+from ..sim.trace import Tracer
+from .channel import Channel, ChannelEndpoint
+from .packet import ACK_SIZE_BYTES, Frame
+
+#: Callback fired when a frame's MAC-level fate is known.
+SendCallback = Callable[[bool], None]
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Tunable MAC timing and retry parameters (802.11-flavoured defaults)."""
+
+    slot_s: float = 20e-6
+    sifs_s: float = 10e-6
+    difs_s: float = 50e-6
+    cw_min: int = 16
+    cw_max: int = 1024
+    retry_limit: int = 7
+    #: extra ACK wait slack beyond SIFS + ACK airtime
+    ack_slack_s: float = 60e-6
+    #: how many recently seen (src, seq) pairs to remember for dedupe
+    dedupe_window: int = 64
+
+
+class MacLayer:
+    """One endpoint's MAC: transmit queue, carrier sense, ACKs, dedupe."""
+
+    def __init__(
+        self,
+        endpoint: ChannelEndpoint,
+        sim: Simulator,
+        channel: Channel,
+        rng: np.random.Generator,
+        config: Optional[MacConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.sim = sim
+        self.channel = channel
+        self.rng = rng
+        self.config = config or MacConfig()
+        self.tracer = tracer
+        self._queue: Deque[Tuple[Frame, Optional[SendCallback]]] = deque()
+        self._busy = False
+        self._current: Optional[Tuple[Frame, Optional[SendCallback]]] = None
+        self._retries = 0
+        self._cw = self.config.cw_min
+        self._ack_timer: Optional[EventHandle] = None
+        self._awaited_ack_seq: Optional[int] = None
+        self._seen: Deque[Tuple[int, int]] = deque(maxlen=self.config.dedupe_window)
+        self._seen_set: set = set()
+        #: upward delivery target, set by the owning node
+        self.receive_callback: Optional[Callable[[Frame], None]] = None
+        # Counters for diagnostics / tests.
+        self.unicast_failures = 0
+        self.frames_queued = 0
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    @property
+    def is_idle(self) -> bool:
+        """Whether the MAC has nothing queued or in flight."""
+        return not self._busy and not self._queue
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue) + (1 if self._busy else 0)
+
+    def send(self, frame: Frame, callback: Optional[SendCallback] = None) -> None:
+        """Queue ``frame`` for transmission.
+
+        ``callback(True)`` fires when the frame was sent (broadcast) or
+        acknowledged (unicast); ``callback(False)`` when the retry limit was
+        exhausted.
+        """
+        self.frames_queued += 1
+        self._queue.append((frame, callback))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if self._busy or not self._queue:
+            return
+        self._busy = True
+        self._current = self._queue.popleft()
+        self._retries = 0
+        self._cw = self.config.cw_min
+        self._schedule_attempt(first=True)
+
+    def _schedule_attempt(self, first: bool) -> None:
+        cfg = self.config
+        backoff_slots = int(self.rng.integers(0, self._cw))
+        delay = cfg.difs_s + backoff_slots * cfg.slot_s
+        if not first:
+            # After sensing busy, also wait out the current occupancy.
+            busy_until = self.channel.busy_until(self.endpoint)
+            if busy_until is not None:
+                delay += max(0.0, busy_until - self.sim.now)
+        self.sim.schedule(delay, self._attempt_transmit)
+
+    def _attempt_transmit(self) -> None:
+        assert self._current is not None
+        if self.endpoint.radio.is_sleeping:
+            # Radio was put to sleep while we waited: fail the frame rather
+            # than transmit impossibly.  PSM-aware senders avoid this path.
+            self._finish_current(False)
+            return
+        if self.endpoint.radio.is_transmitting or self.channel.medium_busy(self.endpoint):
+            # Non-persistent CSMA: resample backoff, wait out the medium.
+            self._schedule_attempt(first=False)
+            return
+        frame, _ = self._current
+        airtime = self.channel.transmit(self.endpoint, frame)
+        if frame.is_broadcast:
+            self.sim.schedule(airtime, self._finish_current, True)
+        else:
+            ack_wait = (
+                airtime
+                + self.config.sifs_s
+                + self.channel.airtime(self._ack_frame_for(frame))
+                + self.config.ack_slack_s
+            )
+            self._awaited_ack_seq = frame.seq
+            self._ack_timer = self.sim.schedule(ack_wait, self._on_ack_timeout)
+
+    def _ack_frame_for(self, frame: Frame) -> Frame:
+        return Frame(
+            kind="mac-ack",
+            src=self.endpoint.node_id,
+            dst=frame.src,
+            size_bytes=ACK_SIZE_BYTES,
+            payload=frame.seq,
+        )
+
+    def _on_ack_timeout(self) -> None:
+        self._ack_timer = None
+        self._awaited_ack_seq = None
+        self._retries += 1
+        if self._retries > self.config.retry_limit:
+            self.unicast_failures += 1
+            if self.tracer is not None:
+                assert self._current is not None
+                self.tracer.emit(
+                    "mac-fail",
+                    self.sim.now,
+                    src=self.endpoint.node_id,
+                    dst=self._current[0].dst,
+                    frame_kind=self._current[0].kind,
+                )
+            self._finish_current(False)
+            return
+        self._cw = min(self._cw * 2, self.config.cw_max)
+        self._schedule_attempt(first=False)
+
+    def _finish_current(self, success: bool) -> None:
+        current, self._current = self._current, None
+        self._busy = False
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+        self._awaited_ack_seq = None
+        if current is not None and current[1] is not None:
+            current[1](success)
+        if self._queue:
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def on_frame(self, frame: Frame) -> None:
+        """Channel delivery: filter, ACK, dedupe, dispatch upward."""
+        if frame.kind == "mac-ack":
+            if frame.dst == self.endpoint.node_id and frame.payload == self._awaited_ack_seq:
+                if self._ack_timer is not None:
+                    self._ack_timer.cancel()
+                    self._ack_timer = None
+                self._finish_current(True)
+            return
+        if not frame.is_broadcast and frame.dst != self.endpoint.node_id:
+            return
+        if not frame.is_broadcast:
+            # ACK even duplicates: the sender may have missed our first ACK.
+            self.sim.schedule(self.config.sifs_s, self._send_ack, frame)
+        key = (frame.src, frame.seq)
+        if key in self._seen_set:
+            return
+        if len(self._seen) == self._seen.maxlen:
+            oldest = self._seen[0]
+            self._seen_set.discard(oldest)
+        self._seen.append(key)
+        self._seen_set.add(key)
+        if self.receive_callback is not None:
+            self.receive_callback(frame)
+
+    def _send_ack(self, frame: Frame) -> None:
+        radio = self.endpoint.radio
+        if radio.is_transmitting or radio.is_sleeping:
+            # Cannot ACK right now; the sender will retransmit.
+            return
+        self.channel.transmit(self.endpoint, self._ack_frame_for(frame))

@@ -1,0 +1,225 @@
+"""Endpoints: static sensor nodes and the mobile proxy.
+
+A :class:`SensorNode` bundles the per-node stack (radio, MAC, optional sleep
+scheduler, sensor) and dispatches received application frames to protocol
+handlers registered by kind.  Protocol modules (routing, dissemination,
+collection, ...) register their handlers at network construction and keep
+their own per-node state; the node itself stays protocol-agnostic.
+
+A :class:`MobileEndpoint` is the user's proxy: an always-on radio whose
+position is a function of time supplied by the mobility model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..geometry.vec import Vec2
+from ..sim.kernel import Simulator
+from ..sim.trace import Tracer
+from .channel import Channel
+from .energy import PowerModel
+from .field import ScalarField, UniformField
+from .mac import MacConfig, MacLayer, SendCallback
+from .packet import Frame
+from .psm import PsmConfig, SleepScheduler, delivery_time
+from .radio import Radio
+
+#: Handler signature: ``handler(node, frame)``.
+FrameHandler = Callable[["SensorNode", Frame], None]
+
+#: Role constants.
+ROLE_ACTIVE = "active"
+ROLE_SLEEPER = "sleeper"
+
+
+class SensorNode:
+    """One static sensor node with its full communication stack."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Vec2,
+        sim: Simulator,
+        channel: Channel,
+        rng: np.random.Generator,
+        mac_config: Optional[MacConfig] = None,
+        power_model: Optional[PowerModel] = None,
+        field: Optional[ScalarField] = None,
+        sensor_noise_std: float = 0.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.sim = sim
+        self.channel = channel
+        self.rng = rng
+        self.tracer = tracer
+        self.field = field or UniformField()
+        self.sensor_noise_std = sensor_noise_std
+        self.radio = Radio(sim, node_id, power_model or PowerModel())
+        self.mac = MacLayer(self, sim, channel, rng, mac_config, tracer)
+        self.mac.receive_callback = self._dispatch
+        self.role = ROLE_ACTIVE
+        self.sleep_scheduler: Optional[SleepScheduler] = None
+        #: all nodes within communication range (set by the network builder)
+        self.neighbors: List["SensorNode"] = []
+        #: backbone subset of ``neighbors`` (set after power management)
+        self.active_neighbors: List["SensorNode"] = []
+        self._handlers: Dict[str, FrameHandler] = {}
+
+    # ------------------------------------------------------------------
+    # ChannelEndpoint protocol
+    # ------------------------------------------------------------------
+    def position_at(self, time: float) -> Vec2:
+        """Static nodes never move."""
+        return self.position
+
+    def deliver_frame(self, frame: Frame) -> None:
+        """Channel delivery entry point."""
+        self.mac.on_frame(frame)
+
+    # ------------------------------------------------------------------
+    # Application layer
+    # ------------------------------------------------------------------
+    def register_handler(self, kind: str, handler: FrameHandler) -> None:
+        """Install the protocol handler for frames of ``kind``.
+
+        Raises:
+            ValueError: when a second protocol claims the same kind —
+                almost certainly a wiring bug worth failing loudly on.
+        """
+        if kind in self._handlers:
+            raise ValueError(f"handler for kind {kind!r} already registered")
+        self._handlers[kind] = handler
+
+    def _dispatch(self, frame: Frame) -> None:
+        handler = self._handlers.get(frame.kind)
+        if handler is not None:
+            handler(self, frame)
+        elif self.tracer is not None:
+            self.tracer.emit("unhandled-frame", self.sim.now, at=self.node_id, frame_kind=frame.kind)
+
+    def send(self, frame: Frame, callback: Optional[SendCallback] = None) -> None:
+        """Queue a frame on this node's MAC."""
+        self.mac.send(frame, callback)
+
+    def handle_local(self, kind: str, payload: object, size_bytes: int = 0) -> None:
+        """Deliver a message to this node's own handler without the radio.
+
+        Used when an encapsulating protocol (geo routing, flooding) unwraps
+        an inner message at its destination node.
+        """
+        frame = Frame(
+            kind=kind,
+            src=self.node_id,
+            dst=self.node_id,
+            size_bytes=size_bytes,
+            payload=payload,
+        )
+        self._dispatch(frame)
+
+    def send_when_listening(
+        self,
+        frame: Frame,
+        dest: "SensorNode",
+        callback: Optional[SendCallback] = None,
+    ) -> None:
+        """Buffer-and-forward: transmit when ``dest`` is scheduled to listen.
+
+        This is the PSM buffering behaviour: backbone nodes hold frames for
+        sleeping neighbours and release them in the next active window.
+        A tiny random stagger avoids every buffered sender hitting the
+        window's first microsecond simultaneously.
+        """
+        now = self.sim.now
+        at = delivery_time(dest.sleep_scheduler, now)
+        if at <= now:
+            self.send(frame, callback)
+            return
+        stagger = float(self.rng.uniform(0.0, 2e-3))
+        self.sim.schedule_at(at + stagger, self.send, frame, callback)
+
+    # ------------------------------------------------------------------
+    # Roles and sensing
+    # ------------------------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        """Whether this node is part of the always-on backbone."""
+        return self.role == ROLE_ACTIVE
+
+    def make_sleeper(self, psm_config: PsmConfig) -> None:
+        """Demote the node to a duty-cycled sleeper and start its schedule."""
+        self.role = ROLE_SLEEPER
+        self.sleep_scheduler = SleepScheduler(self.sim, self.radio, self.mac, psm_config)
+        self.sleep_scheduler.start()
+
+    def read_sensor(self) -> float:
+        """Sample the physical field at this node, with sensor noise."""
+        value = self.field.value(self.position, self.sim.now)
+        if self.sensor_noise_std > 0:
+            value += float(self.rng.normal(0.0, self.sensor_noise_std))
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SensorNode {self.node_id} {self.role} @{self.position}>"
+
+
+class MobileEndpoint:
+    """The user's proxy device: mobile, always-on, full MAC stack."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        channel: Channel,
+        rng: np.random.Generator,
+        position_fn: Callable[[float], Vec2],
+        mac_config: Optional[MacConfig] = None,
+        power_model: Optional[PowerModel] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.channel = channel
+        self.rng = rng
+        self.tracer = tracer
+        self._position_fn = position_fn
+        self.radio = Radio(sim, node_id, power_model or PowerModel())
+        self.mac = MacLayer(self, sim, channel, rng, mac_config, tracer)
+        self.mac.receive_callback = self._dispatch
+        self._handlers: Dict[str, Callable[["MobileEndpoint", Frame], None]] = {}
+
+    def position_at(self, time: float) -> Vec2:
+        """Proxy position from the mobility model."""
+        return self._position_fn(time)
+
+    @property
+    def position(self) -> Vec2:
+        """Current position."""
+        return self._position_fn(self.sim.now)
+
+    def deliver_frame(self, frame: Frame) -> None:
+        self.mac.on_frame(frame)
+
+    def register_handler(
+        self, kind: str, handler: Callable[["MobileEndpoint", Frame], None]
+    ) -> None:
+        """Install the proxy-side handler for frames of ``kind``."""
+        if kind in self._handlers:
+            raise ValueError(f"handler for kind {kind!r} already registered")
+        self._handlers[kind] = handler
+
+    def _dispatch(self, frame: Frame) -> None:
+        handler = self._handlers.get(frame.kind)
+        if handler is not None:
+            handler(self, frame)
+
+    def send(self, frame: Frame, callback: Optional[SendCallback] = None) -> None:
+        """Queue a frame on the proxy's MAC."""
+        self.mac.send(frame, callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MobileEndpoint {self.node_id} @{self.position}>"

@@ -1,0 +1,65 @@
+"""Frames exchanged over the simulated radio.
+
+A :class:`Frame` is the unit the MAC transmits: an application ``kind`` tag,
+link-layer source/destination, a wire size used to compute airtime, and an
+arbitrary ``payload`` object interpreted by the protocol handler registered
+for the kind.  Sizes are modelled (they determine airtime and therefore
+contention), contents are not serialized — payloads travel by reference,
+which is standard for packet-level simulators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Link-layer broadcast address.
+BROADCAST = -1
+
+#: Bytes of MAC/PHY framing added to every transmission.
+MAC_HEADER_BYTES = 18
+
+#: Wire size of an acknowledgement frame.
+ACK_SIZE_BYTES = 14
+
+_frame_seq = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """One link-layer frame.
+
+    Attributes:
+        kind: application protocol tag, e.g. ``"prefetch"`` or ``"setup"``.
+        src: sending node id.
+        dst: receiving node id, or :data:`BROADCAST`.
+        size_bytes: application payload size on the wire (MAC header is
+            added by the channel when computing airtime).
+        payload: protocol-specific message object, carried by reference.
+        seq: globally unique frame id (assigned automatically).
+    """
+
+    kind: str
+    src: int
+    dst: int
+    size_bytes: int
+    payload: Any = None
+    seq: int = field(default_factory=lambda: next(_frame_seq))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"frame size must be >= 0, got {self.size_bytes}")
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether the frame is link-layer broadcast."""
+        return self.dst == BROADCAST
+
+    def wire_bytes(self) -> int:
+        """Total bytes on air including MAC/PHY framing."""
+        return self.size_bytes + MAC_HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dst = "BCAST" if self.is_broadcast else str(self.dst)
+        return f"<Frame #{self.seq} {self.kind} {self.src}->{dst} {self.size_bytes}B>"

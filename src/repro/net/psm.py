@@ -1,0 +1,225 @@
+"""IEEE 802.11 PSM-style sleep scheduling.
+
+Non-backbone nodes duty-cycle their radios: everyone shares a beacon
+schedule and is awake for ``active_window_s`` at the start of every
+``beacon_interval_s`` (the paper's *sleep period*, 3–15 s against a 100 ms
+window, i.e. duty cycles of 3.2 % down to 0.67 %).  Clocks are synchronized
+(paper assumption 1), so a backbone node knows exactly when a sleeping
+neighbour will listen and can buffer frames until then.
+
+On top of the beacon cycle, MobiQuery's dissemination phase installs **wake
+overrides**: a sleeping node told to participate in query ``k`` adds a wake
+interval around ``k*Tperiod - Tfresh`` so it can sample its sensor and
+report, then drops back to the beacon cycle.  This is the "reconfigure their
+sleep schedules to wake up at the right time" mechanic of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..sim.kernel import Simulator
+from .mac import MacLayer
+from .radio import Radio
+
+
+@dataclass(frozen=True)
+class PsmConfig:
+    """Duty-cycle parameters shared by all sleeping nodes.
+
+    ``offset_s`` shifts the whole beacon schedule: windows open at
+    ``offset + n * beacon_interval``.  Experiments draw it randomly per run
+    so the query start is not artificially aligned with a wake-up window
+    (which would hide the warmup phase the paper analyses).
+    """
+
+    beacon_interval_s: float = 9.0
+    active_window_s: float = 0.1
+    offset_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beacon_interval_s <= 0:
+            raise ValueError("beacon interval must be > 0")
+        if not 0 < self.active_window_s < self.beacon_interval_s:
+            raise ValueError("active window must be in (0, beacon_interval)")
+        if not 0 <= self.offset_s < self.beacon_interval_s:
+            raise ValueError("offset must be in [0, beacon_interval)")
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time a sleeper's radio is on under the beacon cycle."""
+        return self.active_window_s / self.beacon_interval_s
+
+    #: tolerance for float noise at window boundaries.  A boundary event
+    #: scheduled at ``offset + n*T`` can evaluate its own phase to a hair
+    #: below ``T`` instead of 0; without folding, the node would neither
+    #: wake nor chain the next boundary and its duty cycle would die.
+    _BOUNDARY_EPS = 1e-7
+
+    def window_phase(self, t: float) -> float:
+        """Time since the most recent window opening at time ``t``."""
+        phase = (t - self.offset_s) % self.beacon_interval_s
+        if phase >= self.beacon_interval_s - self._BOUNDARY_EPS:
+            return 0.0
+        return phase
+
+    def in_window(self, t: float) -> bool:
+        """Whether the shared beacon window is open at time ``t``."""
+        return self.window_phase(t) < self.active_window_s - self._BOUNDARY_EPS
+
+    def next_window_start(self, after: float) -> float:
+        """Opening time of the first window strictly after ``after``."""
+        shifted = after - self.offset_s
+        n = math.floor(shifted / self.beacon_interval_s) + 1
+        start = n * self.beacon_interval_s + self.offset_s
+        if start <= after + self._BOUNDARY_EPS:
+            start += self.beacon_interval_s
+        return start
+
+
+class SleepScheduler:
+    """Drives one sleeper's radio through the beacon cycle plus overrides."""
+
+    #: how long to postpone a due sleep while the MAC is still draining
+    _SLEEP_RETRY_S = 1e-3
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Radio,
+        mac: MacLayer,
+        config: PsmConfig,
+    ) -> None:
+        self.sim = sim
+        self.radio = radio
+        self.mac = mac
+        self.config = config
+        self._overrides: List[Tuple[float, float]] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the duty cycle.  The radio sleeps outside scheduled windows."""
+        if self._started:
+            raise RuntimeError("sleep scheduler already started")
+        self._started = True
+        now = self.sim.now
+        if self.is_scheduled_awake(now):
+            self.radio.wake()
+            self.sim.schedule_at(self._current_window_end(now), self._maybe_sleep)
+        else:
+            self.radio.sleep()
+        self.sim.schedule_at(self.next_window_start(now), self._on_wake_boundary)
+
+    # ------------------------------------------------------------------
+    # Schedule queries (usable by other nodes thanks to clock sync)
+    # ------------------------------------------------------------------
+    def beacon_window_start(self, index: int) -> float:
+        """Start time of beacon window ``index``."""
+        return index * self.config.beacon_interval_s + self.config.offset_s
+
+    def is_scheduled_awake(self, t: float) -> bool:
+        """Whether the schedule has the node awake at time ``t``."""
+        if self.config.in_window(t):
+            return True
+        return any(start - 1e-12 <= t < end - 1e-12 for start, end in self._overrides)
+
+    def next_window_start(self, after: float) -> float:
+        """Earliest scheduled wake boundary strictly relevant after ``after``.
+
+        Returns the start of the next beacon window or override, whichever
+        comes first.  If ``after`` falls inside a window, returns the next
+        *future* boundary (delivery planners call this only when the target
+        is asleep).
+        """
+        candidates = [self.config.next_window_start(after)]
+        candidates.extend(start for start, _ in self._overrides if start > after)
+        return min(candidates)
+
+    def earliest_listen_time(self, after: float) -> float:
+        """Earliest time >= ``after`` when the node is scheduled to listen."""
+        if self.is_scheduled_awake(after):
+            return after
+        return self.next_window_start(after)
+
+    # ------------------------------------------------------------------
+    # Overrides
+    # ------------------------------------------------------------------
+    def add_wake_interval(self, start: float, end: float) -> None:
+        """Schedule an extra listening interval ``[start, end)``.
+
+        Intervals in the past are ignored; an interval already underway
+        wakes the radio immediately.
+        """
+        if end <= start:
+            raise ValueError(f"empty wake interval [{start}, {end})")
+        now = self.sim.now
+        if end <= now:
+            return
+        self._overrides.append((start, end))
+        if start <= now:
+            self.radio.wake()
+            self.sim.schedule_at(end, self._maybe_sleep)
+        else:
+            self.sim.schedule_at(start, self._on_wake_boundary)
+        self._prune_overrides(now)
+
+    def _prune_overrides(self, now: float) -> None:
+        self._overrides = [(s, e) for s, e in self._overrides if e > now]
+
+    # ------------------------------------------------------------------
+    # Boundary events
+    # ------------------------------------------------------------------
+    def _on_wake_boundary(self) -> None:
+        now = self.sim.now
+        self._prune_overrides(now)
+        if self.is_scheduled_awake(now):
+            self.radio.wake()
+            self.sim.schedule_at(self._current_window_end(now), self._maybe_sleep)
+        # Chain the beacon cycle: always have the next wake queued.
+        nxt = self.next_window_start(now)
+        if nxt > now:
+            self.sim.schedule_at(nxt, self._on_wake_boundary)
+
+    def _current_window_end(self, t: float) -> float:
+        """End of the scheduled-awake stretch containing ``t``."""
+        phase = self.config.window_phase(t)
+        if phase < self.config.active_window_s:
+            end = t - phase + self.config.active_window_s
+        else:
+            end = t
+        changed = True
+        while changed:
+            changed = False
+            for start, o_end in self._overrides:
+                if start <= end + 1e-12 and o_end > end:
+                    end = o_end
+                    changed = True
+        return max(end, t)
+
+    def _maybe_sleep(self) -> None:
+        now = self.sim.now
+        if self.is_scheduled_awake(now):
+            return  # an override extended the window; its own end event fires later
+        if not self.mac.is_idle or self.radio.is_transmitting or self.radio.active_receptions:
+            # Drain in-flight work before powering down; bounded in practice
+            # because sleepers only ever queue a handful of frames.
+            self.sim.schedule(self._SLEEP_RETRY_S, self._maybe_sleep)
+            return
+        self.radio.sleep()
+
+
+def delivery_time(scheduler: Optional[SleepScheduler], now: float) -> float:
+    """When a frame for this node can first be transmitted.
+
+    Backbone nodes (``scheduler is None``) are always reachable; sleepers are
+    reachable at their next scheduled listening time.  Synchronized clocks
+    make this knowable by any sender, standing in for the PSM ATIM handshake.
+    """
+    if scheduler is None:
+        return now
+    return scheduler.earliest_listen_time(now)

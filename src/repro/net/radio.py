@@ -1,0 +1,125 @@
+"""Per-node radio: power states, half-duplex rule, reception health.
+
+The radio is where the channel's physical effects and the PSM sleep schedule
+meet.  It owns exactly one invariant the rest of the stack relies on: a
+frame is delivered only if its receiver stayed in a listening state
+(``IDLE``/``RX``) for the frame's whole airtime and no overlapping in-range
+transmission corrupted it.  Falling asleep or starting a transmission
+mid-reception kills the reception — that is how duty cycling destroys naive
+query dissemination in the paper's motivating example.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..sim.kernel import Simulator
+from .energy import EnergyMeter, PowerModel, RadioState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .channel import Reception
+
+
+class Radio:
+    """Radio state machine for one endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner_id: int,
+        power_model: PowerModel,
+        initial_state: RadioState = RadioState.IDLE,
+    ) -> None:
+        self.sim = sim
+        self.owner_id = owner_id
+        self.energy = EnergyMeter(sim, power_model)
+        self._state = initial_state
+        self.energy.on_state_change(initial_state)
+        #: receptions currently in flight at this radio (managed by Channel)
+        self.active_receptions: List["Reception"] = []
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> RadioState:
+        return self._state
+
+    @property
+    def is_sleeping(self) -> bool:
+        return self._state is RadioState.SLEEP
+
+    @property
+    def is_transmitting(self) -> bool:
+        return self._state is RadioState.TX
+
+    @property
+    def is_listening(self) -> bool:
+        """Whether the radio could begin receiving a frame right now."""
+        return self._state in (RadioState.IDLE, RadioState.RX)
+
+    def set_state(self, new_state: RadioState) -> None:
+        """Transition the radio, corrupting in-flight receptions if needed.
+
+        Any transition out of a listening state (to ``TX`` or ``SLEEP``)
+        corrupts receptions in progress: the receiver stopped listening
+        before the frame ended.
+        """
+        if new_state is self._state:
+            return
+        if new_state in (RadioState.TX, RadioState.SLEEP):
+            for reception in self.active_receptions:
+                reception.corrupt("receiver_left_listening")
+        self._state = new_state
+        self.energy.on_state_change(new_state)
+
+    # ------------------------------------------------------------------
+    # Channel integration
+    # ------------------------------------------------------------------
+    def begin_reception(self, reception: "Reception") -> None:
+        """Channel callback: a frame started arriving while we listened."""
+        if self.active_receptions:
+            # Overlap: everything in flight at this radio is garbage.
+            reception.corrupt("overlap")
+            for other in self.active_receptions:
+                other.corrupt("overlap")
+        self.active_receptions.append(reception)
+        if self._state is RadioState.IDLE:
+            self.set_state(RadioState.RX)
+
+    def end_reception(self, reception: "Reception") -> None:
+        """Channel callback: the frame's airtime elapsed."""
+        if reception in self.active_receptions:
+            self.active_receptions.remove(reception)
+        if not self.active_receptions and self._state is RadioState.RX:
+            self.set_state(RadioState.IDLE)
+
+    def set_state_tx_guarded(self) -> None:
+        """Enter TX, rejecting physically impossible transitions.
+
+        Raises:
+            RuntimeError: if asleep (a sleeping radio cannot transmit) or
+                already transmitting (the MAC serializes transmissions).
+        """
+        if self._state is RadioState.SLEEP:
+            raise RuntimeError(f"radio {self.owner_id} cannot transmit while asleep")
+        if self._state is RadioState.TX:
+            raise RuntimeError(f"radio {self.owner_id} is already transmitting")
+        self.set_state(RadioState.TX)
+
+    def end_transmission(self) -> None:
+        """Return to idle after a transmission (no-op if forced asleep)."""
+        if self._state is RadioState.TX:
+            self.set_state(RadioState.IDLE)
+
+    def sleep(self) -> None:
+        """Enter the sleep state (corrupts in-flight receptions)."""
+        self.set_state(RadioState.SLEEP)
+
+    def wake(self) -> None:
+        """Leave sleep for idle listening.  No effect in TX/RX/IDLE."""
+        if self._state is RadioState.SLEEP:
+            self.set_state(RadioState.IDLE)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Radio node={self.owner_id} {self._state.value}>"

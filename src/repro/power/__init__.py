@@ -1,0 +1,19 @@
+"""Power management: backbone selection protocols and coverage checks."""
+
+from .base import PowerManagementProtocol, repair_connectivity
+from .ccp import CcpConfig, CcpProtocol
+from .coverage import covered_fraction, sample_points
+from .gaf import AlwaysOnProtocol, GafProtocol
+from .span import SpanProtocol
+
+__all__ = [
+    "PowerManagementProtocol",
+    "repair_connectivity",
+    "CcpProtocol",
+    "CcpConfig",
+    "SpanProtocol",
+    "GafProtocol",
+    "AlwaysOnProtocol",
+    "covered_fraction",
+    "sample_points",
+]

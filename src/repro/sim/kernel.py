@@ -1,0 +1,191 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate everything else runs on — the role ns-2's scheduler
+played for the paper.  The kernel is a plain binary-heap event loop with:
+
+* ``schedule(delay, fn, *args)`` / ``schedule_at(time, fn, *args)`` returning
+  cancellable handles,
+* deterministic FIFO ordering for simultaneous events (tie-broken by a
+  monotonically increasing sequence number, so two events scheduled for the
+  same instant fire in scheduling order),
+* ``run(until=...)`` which executes events with ``time <= until`` and leaves
+  the clock at ``until``.
+
+Protocol code that reads better as a coroutine uses :mod:`repro.sim.process`
+on top of this; hot paths (MAC timers, receptions) call ``schedule``
+directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, re-running, ...)."""
+
+
+class EventHandle:
+    """A scheduled callback.  ``cancel()`` prevents it from firing."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event.  Cancelling twice or after firing is a no-op."""
+        self.cancelled = True
+        self.fn = None
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return not self.cancelled and self.fn is not None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """The event loop.
+
+    A single ``Simulator`` instance owns simulated time for one experiment
+    run.  All model components keep a reference to it and schedule their
+    callbacks through it.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        Raises:
+            SimulationError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute time ``time``.
+
+        Raises:
+            SimulationError: if ``time`` precedes the current clock.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
+            )
+        handle = EventHandle(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the current time (after pending peers)."""
+        return self.schedule_at(self._now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is drained."""
+        self._drop_cancelled()
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False if none remained."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        handle = heapq.heappop(self._queue)
+        self._now = handle.time
+        fn, args = handle.fn, handle.args
+        handle.fn, handle.args = None, ()
+        self.events_executed += 1
+        assert fn is not None
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        After the call the clock equals ``until`` when one was given (even if
+        the queue drained earlier), so follow-up scheduling is relative to
+        the requested horizon.
+
+        Args:
+            until: absolute stop time; events at exactly ``until`` run.
+            max_events: safety valve for runaway models; raises
+                ``SimulationError`` when exceeded.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until:.6f}) is before now={self._now:.6f}"
+            )
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                self._drop_cancelled()
+                if not self._queue:
+                    break
+                if until is not None and self._queue[0].time > until:
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway model?)"
+                    )
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop the current ``run()`` after the executing event returns."""
+        self._stopped = True
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return sum(1 for h in self._queue if h.pending)
+
+    def _drop_cancelled(self) -> None:
+        queue = self._queue
+        while queue and not queue[0].pending:
+            heapq.heappop(queue)

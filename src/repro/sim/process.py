@@ -1,0 +1,169 @@
+"""Generator-based processes on top of the event kernel.
+
+Protocol logic like "flood the setup message, wait for joins until the
+sub-deadline, then send the aggregate upstream" reads far better as a
+coroutine than as a callback chain.  A :class:`Process` drives a generator
+that can yield:
+
+* :class:`Timeout` — resume after a simulated delay,
+* :class:`Signal` — resume when another component triggers it (optionally
+  receiving the value passed to :meth:`Signal.trigger`),
+* another :class:`Process` — resume when that process finishes.
+
+A process is itself a :class:`Signal`, triggered with the generator's return
+value, so processes compose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from .kernel import EventHandle, SimulationError, Simulator
+
+
+class Signal:
+    """A one-shot level-triggered event that processes can wait on."""
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value", "name")
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: List[Callable[["Signal"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the signal, waking all waiters with ``value``.
+
+        Raises:
+            SimulationError: when triggered a second time.
+        """
+        if self.triggered:
+            raise SimulationError(f"signal {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.call_soon(cb, self)
+
+    def add_callback(self, cb: Callable[["Signal"], None]) -> None:
+        """Register ``cb(signal)``; runs immediately if already triggered."""
+        if self.triggered:
+            self.sim.call_soon(cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "triggered" if self.triggered else "pending"
+        return f"<Signal {self.name!r} {state}>"
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = delay
+
+
+class Interrupted(Exception):
+    """Thrown into a process when it is interrupted.
+
+    Carries the ``reason`` passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, reason: Any = None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Process(Signal):
+    """Drives a generator, suspending at each yield.
+
+    The process finishes when the generator returns (or raises
+    ``StopIteration``); its :class:`Signal` then triggers with the return
+    value.  Exceptions other than the interrupt escape to the kernel and
+    abort the run — silent failure would corrupt experiment results.
+    """
+
+    __slots__ = ("_gen", "_pending_timeout", "alive")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, name=name)
+        self._gen = generator
+        self._pending_timeout: Optional[EventHandle] = None
+        self.alive = True
+        sim.call_soon(self._resume, None, None)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def interrupt(self, reason: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at its yield point.
+
+        A finished process ignores interrupts (races between a natural
+        completion and an interrupt resolve in favour of the completion).
+        """
+        if not self.alive:
+            return
+        if self._pending_timeout is not None:
+            self._pending_timeout.cancel()
+            self._pending_timeout = None
+        self.sim.call_soon(self._resume, None, Interrupted(reason))
+
+    # ------------------------------------------------------------------
+    # Engine
+    # ------------------------------------------------------------------
+    def _resume(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        if not self.alive:
+            return
+        self._pending_timeout = None
+        try:
+            if throw_exc is not None:
+                yielded = self._gen.throw(throw_exc)
+            else:
+                yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.trigger(stop.value)
+            return
+        except Interrupted:
+            # Process chose not to catch its interrupt: it just dies quietly,
+            # which is the common "cancel this collector" path.
+            self.alive = False
+            if not self.triggered:
+                self.trigger(None)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self._pending_timeout = self.sim.schedule(
+                yielded.delay, self._resume, None, None
+            )
+        elif isinstance(yielded, Signal):
+            yielded.add_callback(self._on_signal)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {yielded!r}"
+            )
+
+    def _on_signal(self, signal: Signal) -> None:
+        if self.alive:
+            self._resume(signal.value, None)
+
+
+def start_process(
+    sim: Simulator, generator: Generator[Any, Any, Any], name: str = ""
+) -> Process:
+    """Convenience wrapper: ``Process(sim, generator, name)``."""
+    return Process(sim, generator, name=name)

@@ -1,0 +1,170 @@
+"""Tests for metrics: fidelity, success ratio, storage/contention trackers."""
+
+import pytest
+
+from repro.core.metrics import (
+    ContentionTracker,
+    SessionMetrics,
+    PeriodRecord,
+    StorageTracker,
+    measure_power,
+)
+from repro.core.query import QuerySpec
+from repro.geometry.vec import Vec2
+from repro.sim.trace import Tracer
+
+from .conftest import all_active, line_positions, make_network
+
+
+def record(k, fidelity, on_time=True, threshold=0.95):
+    return PeriodRecord(
+        k=k,
+        deadline=k * 2.0,
+        user_position=Vec2(0, 0),
+        area_node_count=20,
+        delivered_at=k * 2.0 - 0.05 if on_time else None,
+        value=1.0,
+        contributors_in_area=int(fidelity * 20),
+        fidelity=fidelity,
+        fidelity_actual=fidelity,
+        prediction_error_m=0.0,
+        on_time=on_time,
+        success=on_time and fidelity >= threshold,
+    )
+
+
+class TestSessionMetrics:
+    def test_success_ratio(self):
+        metrics = SessionMetrics([record(1, 1.0), record(2, 0.5), record(3, 0.96)])
+        assert metrics.success_ratio() == pytest.approx(2 / 3)
+
+    def test_deadline_ratio(self):
+        metrics = SessionMetrics(
+            [record(1, 1.0), record(2, 1.0, on_time=False), record(3, 0.2)]
+        )
+        assert metrics.deadline_ratio() == pytest.approx(2 / 3)
+
+    def test_mean_fidelity(self):
+        metrics = SessionMetrics([record(1, 1.0), record(2, 0.5)])
+        assert metrics.mean_fidelity() == pytest.approx(0.75)
+
+    def test_empty_session(self):
+        metrics = SessionMetrics([])
+        assert metrics.success_ratio() == 0.0
+        assert metrics.mean_fidelity() == 0.0
+
+    def test_fidelity_series(self):
+        metrics = SessionMetrics([record(1, 0.9), record(2, 1.0)])
+        assert metrics.fidelity_series() == [(1, 0.9), (2, 1.0)]
+
+    def test_warmup_detection(self):
+        records = [record(k, 0.3) for k in range(1, 5)] + [
+            record(k, 1.0) for k in range(5, 12)
+        ]
+        metrics = SessionMetrics(records)
+        assert metrics.warmup_periods_observed() == 4
+
+    def test_warmup_zero_when_immediately_good(self):
+        metrics = SessionMetrics([record(k, 1.0) for k in range(1, 6)])
+        assert metrics.warmup_periods_observed() == 0
+
+    def test_warmup_never_stabilizes(self):
+        metrics = SessionMetrics([record(k, 0.3) for k in range(1, 6)])
+        assert metrics.warmup_periods_observed() == 5
+
+    def test_warmup_ignores_transient_recovery(self):
+        fidelities = [0.3, 1.0, 0.3, 1.0, 1.0, 1.0, 1.0]
+        metrics = SessionMetrics([record(k + 1, f) for k, f in enumerate(fidelities)])
+        assert metrics.warmup_periods_observed(run_length=3) == 3
+
+
+class TestStorageTracker:
+    def test_prefetch_length_counts_future_trees(self):
+        tracer = Tracer()
+        spec = QuerySpec(period_s=2.0, lifetime_s=40.0)
+        tracker = StorageTracker(tracer, spec)
+        # at t=1 (period 0), collectors exist for k = 3, 4, 5
+        for k in (3, 4, 5):
+            tracer.emit("collector-assigned", 1.0, k=k)
+        assert tracker.max_prefetch_length == 3
+
+    def test_released_collectors_not_counted(self):
+        tracer = Tracer()
+        spec = QuerySpec(period_s=2.0, lifetime_s=40.0)
+        tracker = StorageTracker(tracer, spec)
+        tracer.emit("collector-assigned", 1.0, k=3)
+        tracer.emit("collector-released", 2.0, k=3)
+        tracer.emit("collector-assigned", 2.5, k=9)
+        assert tracker.max_prefetch_length == 1
+
+    def test_tree_state_peak(self):
+        tracer = Tracer()
+        tracker = StorageTracker(tracer, QuerySpec(period_s=2.0, lifetime_s=40.0))
+        for n in range(5):
+            tracer.emit("tree-created", 1.0, node=n, k=1)
+        tracer.emit("tree-released", 2.0, node=0, k=1)
+        tracer.emit("tree-created", 3.0, node=9, k=2)
+        assert tracker.max_tree_states == 5
+        assert tracker.live_tree_states == 5
+
+
+class TestContentionTracker:
+    def _tracker(self, tracer):
+        return ContentionTracker(
+            tracer,
+            sleep_period_s=9.0,
+            active_window_s=0.1,
+            query_radius_m=150.0,
+            comm_range_m=105.0,
+        )
+
+    def test_overlapping_nearby_setups_interfere(self):
+        tracer = Tracer()
+        tracker = self._tracker(tracer)
+        for i in range(3):
+            tracer.emit(
+                "tree-setup-start", 1.0 + i * 0.1, k=i, pickup_x=10.0 * i, pickup_y=0.0
+            )
+        # all three share the window ending at 9.1 and sit within range
+        assert tracker.interference_length() == 2
+
+    def test_time_separated_setups_do_not_interfere(self):
+        tracer = Tracer()
+        tracker = self._tracker(tracer)
+        tracer.emit("tree-setup-start", 1.0, k=1, pickup_x=0.0, pickup_y=0.0)
+        tracer.emit("tree-setup-start", 20.0, k=2, pickup_x=0.0, pickup_y=0.0)
+        assert tracker.interference_length() == 0
+
+    def test_space_separated_setups_do_not_interfere(self):
+        tracer = Tracer()
+        tracker = self._tracker(tracer)
+        tracer.emit("tree-setup-start", 1.0, k=1, pickup_x=0.0, pickup_y=0.0)
+        tracer.emit("tree-setup-start", 1.1, k=2, pickup_x=1000.0, pickup_y=0.0)
+        assert tracker.interference_length() == 0
+
+
+class TestPowerReport:
+    def test_measures_both_roles(self, sim):
+        network = make_network(sim, line_positions(4, 50.0), sleep_period=9.0, psm_offset=4.0)
+        network.apply_backbone([0, 1])
+        sim.run(until=90.0)
+        report = measure_power(network)
+        assert report.active_count == 2
+        assert report.sleeper_count == 2
+        # active nodes idle at 830 mW; sleepers mostly at 130 mW
+        assert report.mean_active_power_w == pytest.approx(0.830, abs=0.02)
+        assert 0.13 <= report.mean_sleeper_power_w <= 0.20
+
+    def test_sleeper_power_decreases_with_sleep_period(self):
+        from repro.sim.kernel import Simulator
+
+        results = []
+        for period in (3.0, 15.0):
+            sim = Simulator()
+            network = make_network(
+                sim, line_positions(4, 50.0), sleep_period=period, psm_offset=1.0
+            )
+            network.apply_backbone([0])
+            sim.run(until=120.0)
+            results.append(measure_power(network).mean_sleeper_power_w)
+        assert results[1] < results[0]

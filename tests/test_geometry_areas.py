@@ -1,0 +1,143 @@
+"""Tests for query-area shapes (disk, sector, corridor) and their use
+end-to-end — the paper's 'other types of query areas' extension."""
+
+import math
+
+import pytest
+
+from repro.geometry.areas import DiskTemplate, RectTemplate, SectorTemplate
+from repro.geometry.vec import Vec2
+
+
+class TestDiskTemplate:
+    def test_matches_circle_semantics(self):
+        area = DiskTemplate(radius_m=100.0).at(Vec2(50, 50))
+        assert area.contains(Vec2(50, 50))
+        assert area.contains(Vec2(150, 50))
+        assert not area.contains(Vec2(151, 50))
+        assert area.bounding_radius == 100.0
+
+    def test_heading_irrelevant(self):
+        t = DiskTemplate(radius_m=10.0)
+        east = t.at(Vec2(0, 0), Vec2(1, 0))
+        north = t.at(Vec2(0, 0), Vec2(0, 1))
+        for p in (Vec2(5, 5), Vec2(-7, 0), Vec2(0, 9)):
+            assert east.contains(p) == north.contains(p)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskTemplate(radius_m=0.0)
+
+
+class TestSectorTemplate:
+    def test_contains_forward_not_backward(self):
+        area = SectorTemplate(radius_m=100.0, half_angle_deg=45.0).at(
+            Vec2(0, 0), Vec2(1, 0)
+        )
+        assert area.contains(Vec2(50, 0))       # dead ahead
+        assert area.contains(Vec2(50, 40))      # within 45 degrees
+        assert not area.contains(Vec2(0, 50))   # 90 degrees off
+        assert not area.contains(Vec2(-50, 0))  # behind
+
+    def test_hub_always_included(self):
+        area = SectorTemplate(radius_m=100.0, half_angle_deg=30.0, hub_radius_m=15.0).at(
+            Vec2(0, 0), Vec2(1, 0)
+        )
+        assert area.contains(Vec2(-10, 0))  # behind, but inside the hub
+
+    def test_radius_limit(self):
+        area = SectorTemplate(radius_m=100.0, half_angle_deg=45.0).at(
+            Vec2(0, 0), Vec2(1, 0)
+        )
+        assert not area.contains(Vec2(101, 0))
+
+    def test_orientation_follows_heading(self):
+        north = SectorTemplate(radius_m=100.0, half_angle_deg=30.0).at(
+            Vec2(0, 0), Vec2(0, 1)
+        )
+        assert north.contains(Vec2(0, 50))
+        assert not north.contains(Vec2(50, 0))
+
+    def test_zero_heading_falls_back_to_east(self):
+        area = SectorTemplate(radius_m=100.0, half_angle_deg=30.0).at(
+            Vec2(0, 0), Vec2(0, 0)
+        )
+        assert area.contains(Vec2(50, 0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SectorTemplate(radius_m=-1.0)
+        with pytest.raises(ValueError):
+            SectorTemplate(half_angle_deg=0.0)
+        with pytest.raises(ValueError):
+            SectorTemplate(hub_radius_m=-1.0)
+
+
+class TestRectTemplate:
+    def test_corridor_along_heading(self):
+        area = RectTemplate(length_m=200.0, width_m=60.0).at(Vec2(0, 0), Vec2(1, 0))
+        assert area.contains(Vec2(90, 0))
+        assert area.contains(Vec2(-90, 25))
+        assert not area.contains(Vec2(110, 0))   # beyond half-length
+        assert not area.contains(Vec2(0, 40))    # beyond half-width
+
+    def test_rotated_corridor(self):
+        diag = Vec2(1, 1)
+        area = RectTemplate(length_m=200.0, width_m=20.0).at(Vec2(0, 0), diag)
+        assert area.contains(Vec2(50, 50))       # along the diagonal
+        assert not area.contains(Vec2(50, -50))  # perpendicular
+
+    def test_bounding_radius(self):
+        template = RectTemplate(length_m=80.0, width_m=60.0)
+        assert template.bounding_radius == pytest.approx(50.0)  # 3-4-5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RectTemplate(length_m=0.0)
+
+
+class TestQuerySpecIntegration:
+    def test_spec_defaults_to_disk(self):
+        from repro.core.query import QuerySpec
+
+        spec = QuerySpec(radius_m=120.0)
+        area = spec.area_at(Vec2(10, 10))
+        assert area.contains(Vec2(10, 130))
+        assert not area.contains(Vec2(10, 131))
+        assert spec.effective_radius_m == 120.0
+
+    def test_spec_with_sector_template(self):
+        from repro.core.query import QuerySpec
+
+        spec = QuerySpec(area_template=SectorTemplate(radius_m=100.0, half_angle_deg=60.0))
+        area = spec.area_at(Vec2(0, 0), Vec2(0, 1))
+        assert area.contains(Vec2(0, 80))
+        assert not area.contains(Vec2(0, -80))
+        assert spec.effective_radius_m == 100.0
+
+
+class TestSectorQueryEndToEnd:
+    def test_sector_query_collects_forward_nodes_only(self, sim):
+        """A forward-sector query over the grid: contributors must sit in
+        the wedge ahead of the (eastbound) user, not behind."""
+        from repro.core.query import Aggregation, QuerySpec
+        from repro.mobility.path import PiecewisePath
+        from .test_core_service import Stack
+
+        path = PiecewisePath.from_velocity(Vec2(20, 105), Vec2(2.0, 0), 0.0, 40.0)
+        stack = Stack(sim, user_path=path, duration=30.0)
+        # swap in a sector query spec (forward 90-degree wedge)
+        object.__setattr__(
+            stack.spec, "area_template",
+            SectorTemplate(radius_m=120.0, half_angle_deg=45.0, hub_radius_m=25.0),
+        )
+        stack.run()
+        late = [d for d in stack.gateway.deliveries if d.k >= 10]
+        assert late
+        for d in late:
+            user = path.position_at(d.k * 2.0)
+            for nid in d.contributors:
+                node = stack.network.node_by_id(nid)
+                offset = node.position - user
+                # every contributor is inside the hub or roughly forward
+                assert offset.norm() <= 25.0 + 1e-6 or offset.x >= -abs(offset.y) - 20.0

@@ -1,0 +1,91 @@
+"""Unit tests for the spatial hash grid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.grid import SpatialGrid
+from repro.geometry.vec import Vec2
+
+
+@pytest.fixture
+def grid():
+    g: SpatialGrid[str] = SpatialGrid(cell_size=10.0)
+    g.insert("a", Vec2(0, 0))
+    g.insert("b", Vec2(5, 5))
+    g.insert("c", Vec2(50, 50))
+    return g
+
+
+class TestRegistration:
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            SpatialGrid(cell_size=0.0)
+
+    def test_duplicate_insert_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.insert("a", Vec2(1, 1))
+
+    def test_len_and_contains(self, grid):
+        assert len(grid) == 3
+        assert "a" in grid
+        assert "zzz" not in grid
+
+    def test_remove(self, grid):
+        grid.remove("b")
+        assert "b" not in grid
+        assert grid.query_disk(Vec2(5, 5), 1.0) == []
+
+    def test_remove_missing_raises(self, grid):
+        with pytest.raises(KeyError):
+            grid.remove("nope")
+
+    def test_position_of(self, grid):
+        assert grid.position_of("c") == Vec2(50, 50)
+
+
+class TestDiskQueries:
+    def test_query_disk_finds_inside_only(self, grid):
+        found = set(grid.query_disk(Vec2(0, 0), 8.0))
+        assert found == {"a", "b"}
+
+    def test_query_disk_boundary_included(self, grid):
+        found = grid.query_disk(Vec2(0, 0), Vec2(0, 0).distance_to(Vec2(5, 5)))
+        assert "b" in found
+
+    def test_query_disk_negative_radius(self, grid):
+        assert grid.query_disk(Vec2(0, 0), -1.0) == []
+
+    def test_query_disk_excluding(self, grid):
+        found = grid.query_disk_excluding(Vec2(0, 0), 8.0, "a")
+        assert found == ["b"]
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(42)
+        grid: SpatialGrid[int] = SpatialGrid(cell_size=7.0)
+        points = {}
+        for i in range(300):
+            p = Vec2(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            points[i] = p
+            grid.insert(i, p)
+        for _ in range(25):
+            center = Vec2(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            radius = float(rng.uniform(1, 40))
+            expected = {
+                i for i, p in points.items() if p.distance_to(center) <= radius + 1e-9
+            }
+            assert set(grid.query_disk(center, radius)) == expected
+
+
+class TestNearest:
+    def test_nearest_basic(self, grid):
+        assert grid.nearest(Vec2(48, 48)) == "c"
+        assert grid.nearest(Vec2(1, 1)) == "a"
+
+    def test_nearest_empty_raises(self):
+        g: SpatialGrid[int] = SpatialGrid(cell_size=5.0)
+        with pytest.raises(ValueError):
+            g.nearest(Vec2(0, 0))
+
+    def test_nearest_far_query_point(self, grid):
+        # query point far outside any populated cell: falls back gracefully
+        assert grid.nearest(Vec2(500, 500)) == "c"

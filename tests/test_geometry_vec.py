@@ -1,0 +1,106 @@
+"""Unit tests for 2-D vector arithmetic."""
+
+import math
+
+import pytest
+
+from repro.geometry.vec import Vec2
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert Vec2.zero() == Vec2(0.0, 0.0)
+
+    def test_from_polar_east(self):
+        v = Vec2.from_polar(2.0, 0.0)
+        assert v.is_close(Vec2(2.0, 0.0))
+
+    def test_from_polar_north(self):
+        v = Vec2.from_polar(3.0, math.pi / 2)
+        assert v.is_close(Vec2(0.0, 3.0))
+
+    def test_immutability(self):
+        v = Vec2(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            v.x = 5.0  # type: ignore[misc]
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+
+    def test_sub(self):
+        assert Vec2(5, 5) - Vec2(2, 3) == Vec2(3, 2)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Vec2(1, -2) * 3 == Vec2(3, -6)
+        assert 3 * Vec2(1, -2) == Vec2(3, -6)
+
+    def test_division(self):
+        assert Vec2(4, 8) / 2 == Vec2(2, 4)
+
+    def test_negation(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_iteration_unpacks(self):
+        x, y = Vec2(7, 9)
+        assert (x, y) == (7, 9)
+
+
+class TestMeasures:
+    def test_dot(self):
+        assert Vec2(1, 2).dot(Vec2(3, 4)) == 11
+
+    def test_cross_sign(self):
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1.0
+
+    def test_norm_345(self):
+        assert Vec2(3, 4).norm() == pytest.approx(5.0)
+
+    def test_norm_sq_avoids_sqrt(self):
+        assert Vec2(3, 4).norm_sq() == pytest.approx(25.0)
+
+    def test_distance_symmetry(self):
+        a, b = Vec2(0, 0), Vec2(6, 8)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a)) == pytest.approx(10.0)
+
+    def test_distance_sq(self):
+        assert Vec2(0, 0).distance_sq_to(Vec2(1, 1)) == pytest.approx(2.0)
+
+    def test_angle(self):
+        assert Vec2(0, 2).angle() == pytest.approx(math.pi / 2)
+
+
+class TestTransforms:
+    def test_normalized_has_unit_length(self):
+        assert Vec2(3, 4).normalized().norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2.zero().normalized()
+
+    def test_perpendicular_is_orthogonal(self):
+        v = Vec2(3, 4)
+        assert v.dot(v.perpendicular()) == pytest.approx(0.0)
+
+    def test_rotated_quarter_turn(self):
+        assert Vec2(1, 0).rotated(math.pi / 2).is_close(Vec2(0, 1), tol=1e-12)
+
+    def test_lerp_endpoints_and_midpoint(self):
+        a, b = Vec2(0, 0), Vec2(10, 20)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(5, 10)
+
+    def test_clamped(self):
+        lo, hi = Vec2(0, 0), Vec2(10, 10)
+        assert Vec2(-5, 20).clamped(lo, hi) == Vec2(0, 10)
+        assert Vec2(5, 5).clamped(lo, hi) == Vec2(5, 5)
+
+    def test_as_tuple(self):
+        assert Vec2(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_is_close_tolerance(self):
+        assert Vec2(1, 1).is_close(Vec2(1 + 1e-10, 1 - 1e-10))
+        assert not Vec2(1, 1).is_close(Vec2(1.1, 1))

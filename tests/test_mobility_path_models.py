@@ -1,0 +1,157 @@
+"""Tests for piecewise paths and mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.shapes import Rect
+from repro.geometry.vec import Vec2
+from repro.mobility.models import (
+    RandomDirectionConfig,
+    patrol_path,
+    random_direction_path,
+)
+from repro.mobility.path import PiecewisePath, Waypoint
+
+
+class TestPiecewisePath:
+    def test_needs_waypoints(self):
+        with pytest.raises(ValueError):
+            PiecewisePath([])
+
+    def test_times_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            PiecewisePath([Waypoint(0, Vec2(0, 0)), Waypoint(0, Vec2(1, 1))])
+
+    def test_stationary(self):
+        path = PiecewisePath.stationary(Vec2(5, 5))
+        assert path.position_at(-10) == Vec2(5, 5)
+        assert path.position_at(100) == Vec2(5, 5)
+        assert path.velocity_at(50) == Vec2.zero()
+
+    def test_interpolation(self):
+        path = PiecewisePath([Waypoint(0, Vec2(0, 0)), Waypoint(10, Vec2(10, 20))])
+        assert path.position_at(5).is_close(Vec2(5, 10))
+
+    def test_clamped_outside_span(self):
+        path = PiecewisePath([Waypoint(1, Vec2(0, 0)), Waypoint(2, Vec2(10, 0))])
+        assert path.position_at(0) == Vec2(0, 0)
+        assert path.position_at(3) == Vec2(10, 0)
+
+    def test_velocity(self):
+        path = PiecewisePath(
+            [Waypoint(0, Vec2(0, 0)), Waypoint(10, Vec2(10, 0)), Waypoint(20, Vec2(10, 30))]
+        )
+        assert path.velocity_at(5).is_close(Vec2(1, 0))
+        assert path.velocity_at(15).is_close(Vec2(0, 3))
+        assert path.velocity_at(25) == Vec2.zero()
+
+    def test_from_velocity(self):
+        path = PiecewisePath.from_velocity(Vec2(0, 0), Vec2(2, 0), start_time=5, duration=10)
+        assert path.position_at(10).is_close(Vec2(10, 0))
+        assert path.end_time == 15
+
+    def test_from_velocity_needs_positive_duration(self):
+        with pytest.raises(ValueError):
+            PiecewisePath.from_velocity(Vec2(0, 0), Vec2(1, 0), 0, 0)
+
+    def test_from_segments(self):
+        path = PiecewisePath.from_segments(
+            Vec2(0, 0), 0.0, [(Vec2(1, 0), 10.0), (Vec2(0, 2), 5.0)]
+        )
+        assert path.position_at(10).is_close(Vec2(10, 0))
+        assert path.position_at(15).is_close(Vec2(10, 10))
+
+    def test_restricted(self):
+        path = PiecewisePath(
+            [Waypoint(0, Vec2(0, 0)), Waypoint(10, Vec2(10, 0)), Waypoint(20, Vec2(20, 10))]
+        )
+        sub = path.restricted(5, 15)
+        assert sub.start_time == 5
+        assert sub.end_time == 15
+        assert sub.position_at(5).is_close(path.position_at(5))
+        assert sub.position_at(10).is_close(path.position_at(10))
+        assert sub.position_at(15).is_close(path.position_at(15))
+
+    def test_restricted_empty_rejected(self):
+        path = PiecewisePath.stationary(Vec2(0, 0))
+        with pytest.raises(ValueError):
+            path.restricted(5, 5)
+
+    def test_change_times(self):
+        path = PiecewisePath(
+            [Waypoint(0, Vec2(0, 0)), Waypoint(10, Vec2(1, 0)), Waypoint(20, Vec2(2, 0))]
+        )
+        assert path.change_times() == [10]
+
+    def test_total_distance(self):
+        path = PiecewisePath(
+            [Waypoint(0, Vec2(0, 0)), Waypoint(1, Vec2(3, 4)), Waypoint(2, Vec2(3, 4))]
+        )
+        assert path.total_distance() == pytest.approx(5.0)
+
+
+class TestRandomDirectionModel:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomDirectionConfig(speed_range=(5.0, 3.0))
+        with pytest.raises(ValueError):
+            RandomDirectionConfig(change_interval_s=0.0)
+
+    def test_path_stays_in_region(self):
+        region = Rect.square(450.0)
+        config = RandomDirectionConfig(speed_range=(3, 5), change_interval_s=50.0)
+        rng = np.random.default_rng(11)
+        path = random_direction_path(region, 400.0, config, rng)
+        for t in np.linspace(0, 400, 200):
+            assert region.contains(path.position_at(float(t)), tol=1e-6)
+
+    def test_speed_within_range(self):
+        region = Rect.square(450.0)
+        config = RandomDirectionConfig(speed_range=(3, 5), change_interval_s=50.0)
+        rng = np.random.default_rng(11)
+        path = random_direction_path(region, 400.0, config, rng)
+        for t in (10.0, 60.0, 120.0, 390.0):
+            speed = path.velocity_at(t).norm()
+            assert speed <= 5.0 + 1e-9
+            # the centre-escape fallback may go below the minimum, but a
+            # normal leg respects it
+            assert speed > 0.0
+
+    def test_changes_at_interval(self):
+        region = Rect.square(1000.0)
+        config = RandomDirectionConfig(speed_range=(3, 5), change_interval_s=50.0)
+        rng = np.random.default_rng(2)
+        path = random_direction_path(region, 200.0, config, rng)
+        assert path.change_times() == [50.0, 100.0, 150.0]
+
+    def test_reproducible(self):
+        region = Rect.square(450.0)
+        config = RandomDirectionConfig()
+        a = random_direction_path(region, 100.0, config, np.random.default_rng(9))
+        b = random_direction_path(region, 100.0, config, np.random.default_rng(9))
+        assert a.position_at(77.0).is_close(b.position_at(77.0))
+
+    def test_default_start_near_corner(self):
+        region = Rect.square(450.0)
+        config = RandomDirectionConfig(margin_m=20.0)
+        path = random_direction_path(region, 50.0, config, np.random.default_rng(1))
+        assert path.position_at(0.0).is_close(Vec2(20, 20))
+
+
+class TestPatrolPath:
+    def test_visits_waypoints_in_order(self):
+        path = patrol_path([Vec2(0, 0), Vec2(100, 0), Vec2(100, 100)], speed=10.0)
+        assert path.position_at(0).is_close(Vec2(0, 0))
+        assert path.position_at(10).is_close(Vec2(100, 0))
+        assert path.position_at(20).is_close(Vec2(100, 100))
+
+    def test_loops(self):
+        path = patrol_path([Vec2(0, 0), Vec2(10, 0)], speed=10.0, loops=2)
+        # 0 ->10 ->0 ->10: total 3 hops of 1 s each
+        assert path.end_time == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            patrol_path([Vec2(0, 0)], speed=1.0)
+        with pytest.raises(ValueError):
+            patrol_path([Vec2(0, 0), Vec2(1, 0)], speed=0.0)

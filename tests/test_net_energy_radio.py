@@ -1,0 +1,154 @@
+"""Unit tests for the energy meter and radio state machine."""
+
+import pytest
+
+from repro.net.energy import PAPER_POWER_MODEL, EnergyMeter, PowerModel, RadioState
+from repro.net.radio import Radio
+from repro.sim.kernel import Simulator
+
+
+class FakeReception:
+    """Stands in for a channel reception record."""
+
+    def __init__(self):
+        self.corrupted = False
+        self.reason = None
+
+    def corrupt(self, reason):
+        if not self.corrupted:
+            self.corrupted = True
+            self.reason = reason
+
+
+class TestPowerModel:
+    def test_paper_numbers(self):
+        assert PAPER_POWER_MODEL.tx_w == pytest.approx(1.400)
+        assert PAPER_POWER_MODEL.rx_w == pytest.approx(1.000)
+        assert PAPER_POWER_MODEL.idle_w == pytest.approx(0.830)
+        assert PAPER_POWER_MODEL.sleep_w == pytest.approx(0.130)
+
+    def test_watts_per_state(self):
+        model = PowerModel()
+        assert model.watts(RadioState.TX) == model.tx_w
+        assert model.watts(RadioState.RX) == model.rx_w
+        assert model.watts(RadioState.IDLE) == model.idle_w
+        assert model.watts(RadioState.SLEEP) == model.sleep_w
+
+
+class TestEnergyMeter:
+    def test_integrates_over_states(self):
+        sim = Simulator()
+        meter = EnergyMeter(sim, PowerModel())
+        # idle 2 s, then sleep 3 s
+        sim.schedule(2.0, meter.on_state_change, RadioState.SLEEP)
+        sim.run(until=5.0)
+        expected = 2.0 * 0.830 + 3.0 * 0.130
+        assert meter.total_joules() == pytest.approx(expected)
+
+    def test_seconds_in_state(self):
+        sim = Simulator()
+        meter = EnergyMeter(sim, PowerModel())
+        sim.schedule(1.0, meter.on_state_change, RadioState.TX)
+        sim.schedule(1.5, meter.on_state_change, RadioState.IDLE)
+        sim.run(until=4.0)
+        assert meter.seconds_in(RadioState.TX) == pytest.approx(0.5)
+        assert meter.seconds_in(RadioState.IDLE) == pytest.approx(3.5)
+
+    def test_average_power(self):
+        sim = Simulator()
+        meter = EnergyMeter(sim, PowerModel())
+        sim.schedule(5.0, meter.on_state_change, RadioState.SLEEP)
+        sim.run(until=10.0)
+        expected = (5 * 0.830 + 5 * 0.130) / 10.0
+        assert meter.average_power_w() == pytest.approx(expected)
+
+    def test_average_power_at_time_zero(self):
+        sim = Simulator()
+        meter = EnergyMeter(sim, PowerModel())
+        assert meter.average_power_w() == pytest.approx(0.830)
+
+
+class TestRadio:
+    def _radio(self):
+        sim = Simulator()
+        return sim, Radio(sim, owner_id=1, power_model=PowerModel())
+
+    def test_initial_state_idle(self):
+        _, radio = self._radio()
+        assert radio.state is RadioState.IDLE
+        assert radio.is_listening
+
+    def test_sleep_and_wake(self):
+        _, radio = self._radio()
+        radio.sleep()
+        assert radio.is_sleeping
+        assert not radio.is_listening
+        radio.wake()
+        assert radio.state is RadioState.IDLE
+
+    def test_wake_noop_when_not_sleeping(self):
+        _, radio = self._radio()
+        radio.set_state(RadioState.RX)
+        radio.wake()
+        assert radio.state is RadioState.RX
+
+    def test_tx_guard_rejects_sleeping(self):
+        _, radio = self._radio()
+        radio.sleep()
+        with pytest.raises(RuntimeError):
+            radio.set_state_tx_guarded()
+
+    def test_tx_guard_rejects_double_tx(self):
+        _, radio = self._radio()
+        radio.set_state_tx_guarded()
+        with pytest.raises(RuntimeError):
+            radio.set_state_tx_guarded()
+
+    def test_end_transmission_returns_to_idle(self):
+        _, radio = self._radio()
+        radio.set_state_tx_guarded()
+        radio.end_transmission()
+        assert radio.state is RadioState.IDLE
+
+    def test_reception_corrupted_by_sleep(self):
+        _, radio = self._radio()
+        reception = FakeReception()
+        radio.begin_reception(reception)
+        assert radio.state is RadioState.RX
+        radio.sleep()
+        assert reception.corrupted
+        assert reception.reason == "receiver_left_listening"
+
+    def test_reception_corrupted_by_tx(self):
+        _, radio = self._radio()
+        reception = FakeReception()
+        radio.begin_reception(reception)
+        radio.set_state_tx_guarded()
+        assert reception.corrupted
+
+    def test_overlapping_receptions_corrupt_each_other(self):
+        _, radio = self._radio()
+        first = FakeReception()
+        second = FakeReception()
+        radio.begin_reception(first)
+        radio.begin_reception(second)
+        assert first.corrupted and second.corrupted
+        assert first.reason == "overlap"
+
+    def test_single_reception_clean(self):
+        _, radio = self._radio()
+        reception = FakeReception()
+        radio.begin_reception(reception)
+        radio.end_reception(reception)
+        assert not reception.corrupted
+        assert radio.state is RadioState.IDLE
+
+    def test_end_reception_restores_idle_only_when_drained(self):
+        _, radio = self._radio()
+        a, b = FakeReception(), FakeReception()
+        radio.begin_reception(a)
+        radio.begin_reception(b)
+        radio.end_reception(a)
+        assert radio.state is RadioState.RX
+        radio.end_reception(b)
+        assert radio.state is RadioState.IDLE

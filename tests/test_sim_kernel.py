@@ -1,0 +1,161 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, log.append, "b")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        log = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, log.append, tag)
+        sim.run()
+        assert log == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [1.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(2.0, inner)
+
+        def inner():
+            log.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 3.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, log.append, "x")
+        handle.cancel()
+        sim.run()
+        assert log == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_property(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.pending
+        handle.cancel()
+        assert not handle.pending
+
+    def test_pending_count_excludes_cancelled(self):
+        sim = Simulator()
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending_count == 1
+
+
+class TestRunControl:
+    def test_run_until_executes_boundary_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "in")
+        sim.schedule(2.0, log.append, "boundary")
+        sim.schedule(2.5, log.append, "out")
+        sim.run(until=2.0)
+        assert log == ["in", "boundary"]
+        assert sim.now == 2.0
+
+    def test_run_until_sets_clock_even_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_in_past_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=4.0)
+
+    def test_continue_running_after_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(5.0, log.append, 5)
+        sim.run(until=2.0)
+        sim.run(until=10.0)
+        assert log == [1, 5]
+
+    def test_stop_halts_immediately(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append("a"), sim.stop()))
+        sim.schedule(2.0, log.append, "b")
+        sim.run()
+        assert log[0] == "a"
+        assert "b" not in log
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(until=100.0, max_events=50)
+
+    def test_step_returns_false_on_empty(self):
+        assert Simulator().step() is False
+
+    def test_peek(self):
+        sim = Simulator()
+        assert sim.peek() is None
+        sim.schedule(3.0, lambda: None)
+        assert sim.peek() == 3.0
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 4

@@ -1,0 +1,175 @@
+"""Unit tests for generator processes and signals."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.process import Interrupted, Process, Signal, Timeout, start_process
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_process_sleeps_for_timeout(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield Timeout(2.5)
+            log.append(sim.now)
+
+        start_process(sim, proc())
+        sim.run()
+        assert log == [0.0, 2.5]
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            for _ in range(3):
+                yield Timeout(1.0)
+                times.append(sim.now)
+
+        start_process(sim, proc())
+        sim.run()
+        assert times == [1.0, 2.0, 3.0]
+
+
+class TestSignal:
+    def test_wait_on_signal_receives_value(self):
+        sim = Simulator()
+        signal = Signal(sim, name="data")
+        got = []
+
+        def proc():
+            value = yield signal
+            got.append(value)
+
+        start_process(sim, proc())
+        sim.schedule(1.0, signal.trigger, 42)
+        sim.run()
+        assert got == [42]
+
+    def test_already_triggered_signal_resumes_immediately(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        signal.trigger("early")
+        got = []
+
+        def proc():
+            got.append((yield signal))
+
+        start_process(sim, proc())
+        sim.run()
+        assert got == ["early"]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        signal.trigger()
+        with pytest.raises(SimulationError):
+            signal.trigger()
+
+    def test_multiple_waiters_all_wake(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        woken = []
+
+        def waiter(tag):
+            yield signal
+            woken.append(tag)
+
+        start_process(sim, waiter("a"))
+        start_process(sim, waiter("b"))
+        sim.schedule(1.0, signal.trigger)
+        sim.run()
+        assert sorted(woken) == ["a", "b"]
+
+
+class TestProcessComposition:
+    def test_process_completion_is_awaitable(self):
+        sim = Simulator()
+        result = []
+
+        def child():
+            yield Timeout(1.0)
+            return "child-done"
+
+        def parent():
+            value = yield start_process(sim, child())
+            result.append((value, sim.now))
+
+        start_process(sim, parent())
+        sim.run()
+        assert result == [("child-done", 1.0)]
+
+    def test_process_return_value_on_signal(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return 99
+
+        p = start_process(sim, proc())
+        sim.run()
+        assert p.triggered
+        assert p.value == 99
+        assert not p.alive
+
+
+class TestInterrupt:
+    def test_interrupt_raises_inside_process(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            try:
+                yield Timeout(10.0)
+                log.append("finished")
+            except Interrupted as exc:
+                log.append(("interrupted", exc.reason, sim.now))
+
+        p = start_process(sim, proc())
+        sim.schedule(2.0, p.interrupt, "cancel!")
+        sim.run()
+        assert log == [("interrupted", "cancel!", 2.0)]
+
+    def test_uncaught_interrupt_kills_quietly(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10.0)
+
+        p = start_process(sim, proc())
+        sim.schedule(1.0, p.interrupt)
+        sim.run()
+        assert not p.alive
+        assert p.triggered
+
+    def test_interrupt_after_completion_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return "ok"
+
+        p = start_process(sim, proc())
+        sim.run()
+        p.interrupt()
+        sim.run()
+        assert p.value == "ok"
+
+
+class TestBadYields:
+    def test_yielding_garbage_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not-a-waitable"
+
+        start_process(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
