@@ -1,0 +1,21 @@
+# MobiQuery reproduction — common developer entry points.
+#
+#   make test         tier-1 unit/integration tests (fast, ~20 s)
+#   make bench-smoke  the two CI benchmark smokes (fig4 + multi-user scaling)
+#   make bench        every benchmark (regenerates all paper figures, slow)
+#   make check        what CI runs on every push
+
+PY ?= python
+
+.PHONY: test bench bench-smoke check
+
+test:
+	PYTHONPATH=src $(PY) -m pytest -q tests/
+
+bench-smoke:
+	PYTHONPATH=src $(PY) -m pytest -q benchmarks/test_fig4_success_ratio.py benchmarks/test_multiuser_scaling.py
+
+bench:
+	PYTHONPATH=src $(PY) -m pytest -q benchmarks/
+
+check: test bench-smoke

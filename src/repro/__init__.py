@@ -22,6 +22,8 @@ Subpackages:
 * ``repro.core`` — the MobiQuery protocol (JIT + greedy prefetching, query
   trees, data collection, cancellation), the NP baseline, Section 5
   closed-form analysis, Section 6 metrics.
+* ``repro.workload`` — multi-user workloads: N concurrent query sessions
+  with independent motion/arrival processes on one shared network.
 * ``repro.experiments`` — per-figure experiment harness.
 """
 
@@ -72,6 +74,18 @@ from .mobility import (
 from .net import NetworkConfig, build_network
 from .power import AlwaysOnProtocol, CcpProtocol, GafProtocol, SpanProtocol
 from .sim import RandomStreams, Simulator, Tracer
+from .workload import (
+    ARRIVAL_POISSON,
+    ARRIVAL_SIMULTANEOUS,
+    ARRIVAL_STAGGERED,
+    ARRIVAL_UNIFORM,
+    SessionResult,
+    UserPlan,
+    UserSession,
+    Workload,
+    WorkloadResult,
+    arrival_times,
+)
 
 __version__ = "1.0.0"
 
@@ -126,4 +140,15 @@ __all__ = [
     "FullKnowledgeProvider",
     "PlannerProfileProvider",
     "HistoryPredictorProvider",
+    # workload
+    "Workload",
+    "WorkloadResult",
+    "UserPlan",
+    "UserSession",
+    "SessionResult",
+    "arrival_times",
+    "ARRIVAL_SIMULTANEOUS",
+    "ARRIVAL_STAGGERED",
+    "ARRIVAL_UNIFORM",
+    "ARRIVAL_POISSON",
 ]

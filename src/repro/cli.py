@@ -35,6 +35,7 @@ from .experiments.figures import (
 from .experiments.reporting import format_table
 from .experiments.runner import run_experiment
 from .net.network import NetworkConfig
+from .workload.arrivals import ARRIVAL_PROCESSES, ARRIVAL_STAGGERED
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +54,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--duration", type=float, default=120.0)
     run_p.add_argument("--sleep-period", type=float, default=9.0)
+    run_p.add_argument(
+        "--users",
+        type=int,
+        default=1,
+        help="concurrent mobile users sharing the network (default 1)",
+    )
+    run_p.add_argument(
+        "--arrival",
+        choices=list(ARRIVAL_PROCESSES),
+        default=ARRIVAL_STAGGERED,
+        help="how multi-user session starts are spread (default staggered)",
+    )
+    run_p.add_argument(
+        "--spacing",
+        type=float,
+        default=2.5,
+        help="arrival spacing / mean interarrival in seconds (default 2.5)",
+    )
 
     fig_p = sub.add_parser("fig", help="regenerate a paper figure")
     fig_p.add_argument("number", type=int, choices=[4, 5, 6, 7, 8])
@@ -67,25 +86,48 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(
-        mode=args.mode,
-        seed=args.seed,
-        duration_s=args.duration,
-        network=NetworkConfig(sleep_period_s=args.sleep_period),
-    )
-    result = run_experiment(config)
+    try:
+        config = ExperimentConfig(
+            mode=args.mode,
+            seed=args.seed,
+            duration_s=args.duration,
+            network=NetworkConfig(sleep_period_s=args.sleep_period),
+            num_users=args.users,
+            arrival_process=args.arrival,
+            arrival_spacing_s=args.spacing,
+        )
+        result = run_experiment(config)
+    except ValueError as exc:
+        print(f"repro run: error: {exc}", file=sys.stderr)
+        return 2
     print(f"mode={args.mode} seed={args.seed} duration={args.duration:.0f}s "
-          f"sleep={args.sleep_period:.0f}s backbone={result.backbone_size}")
+          f"sleep={args.sleep_period:.0f}s backbone={result.backbone_size}"
+          + (f" users={args.users} arrival={args.arrival}" if args.users > 1 else ""))
     if result.metrics is None:
         print(f"idle run: mean sleeper power "
               f"{result.power.mean_sleeper_power_w * 1000:.0f} mW")
         return 0
+    if len(result.sessions) > 1:
+        print("\n user  start  periods  success  fidelity")
+        print(" ----  -----  -------  -------  --------")
+        for session in result.sessions:
+            m = session.metrics
+            print(f" {session.user_id:>4}  {session.start_s:4.1f}s  "
+                  f"{m.num_periods:>7}  {m.success_ratio():6.1%}  "
+                  f"{m.mean_fidelity():7.1%}")
+        print(f"\nfleet mean success: {result.mean_user_success_ratio:.1%}")
+        print(f"fleet worst user  : {result.min_user_success_ratio:.1%}")
+        # network-wide numbers, not per-user
+        print(f"prefetch len  : {result.max_prefetch_length} (worst chain)")
+        print(f"sleeper power : {result.power.mean_sleeper_power_w * 1000:.0f} mW")
+        print("\nuser 0 (baseline-aligned session):")
     metrics = result.metrics
     print(f"success ratio : {metrics.success_ratio():.1%}")
     print(f"mean fidelity : {metrics.mean_fidelity():.1%}")
     print(f"warmup periods: {metrics.warmup_periods_observed()}")
-    print(f"prefetch len  : {result.max_prefetch_length}")
-    print(f"sleeper power : {result.power.mean_sleeper_power_w * 1000:.0f} mW")
+    if len(result.sessions) == 1:
+        print(f"prefetch len  : {result.max_prefetch_length}")
+        print(f"sleeper power : {result.power.mean_sleeper_power_w * 1000:.0f} mW")
     from .experiments.viz import render_fidelity_strip
 
     print("\nfidelity per period:")

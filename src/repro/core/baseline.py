@@ -61,7 +61,7 @@ class NoPrefetchProtocol:
         self.config = config or NoPrefetchConfig()
         self.tracer = tracer if tracer is not None else network.tracer
         self.sim = network.sim
-        self._seen: Set[Tuple[int, int, int]] = set()
+        self._seen: Set[Tuple[int, int, int, int]] = set()
         self._pending_batches: Dict[int, List[NpQueryMessage]] = {}
         self._batch_scheduled: Set[int] = set()
         for node in network.nodes:
@@ -82,7 +82,7 @@ class NoPrefetchProtocol:
             self._handle_query(node, msg)
 
     def _handle_query(self, node: SensorNode, msg: NpQueryMessage) -> None:
-        key = (node.node_id, msg.query_id, msg.k)
+        key = (node.node_id, msg.user_id, msg.query_id, msg.k)
         if key in self._seen:
             return
         self._seen.add(key)
@@ -159,6 +159,7 @@ class NoPrefetchProtocol:
             k=msg.k,
             node_id=node.node_id,
             value=node.read_sensor(),
+            user_id=msg.user_id,
         )
         # Route toward where the user issued the query; the delivering node
         # relays the final hop to the proxy directly.

@@ -15,7 +15,7 @@ into per-period metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..geometry.shapes import Circle
 from ..geometry.vec import Vec2
@@ -74,6 +74,16 @@ class BaseGateway:
         self.sim = network.sim
         self.deliveries: List[DeliveryRecord] = []
         self.last_delivered_k = 0
+
+    @property
+    def user_id(self) -> int:
+        """The owning user (from the query spec)."""
+        return self.spec.user_id
+
+    @property
+    def session_key(self) -> "tuple[int, int]":
+        """The ``(user_id, query_id)`` session this gateway serves."""
+        return self.spec.session_key
 
     def record_delivery(
         self,
@@ -142,15 +152,30 @@ class MobiQueryGateway(BaseGateway):
         proxy.register_handler("mq-result", self._on_result)
 
     def start(self) -> None:
-        """Schedule all profile arrivals; the first one issues the query."""
+        """Schedule all profile arrivals; the first one issues the query.
+
+        A session starting mid-run (``start_s`` > 0) collapses every
+        arrival that predates its origin into the single newest one: the
+        proxy would have held exactly that profile at session start, and
+        replaying the full pre-start history would inject a burst of
+        mutually-superseding chains (and cancel chases) at ``start_s``.
+        """
         arrivals = self.provider.arrivals()
         if not arrivals:
             raise ValueError("profile provider produced no profiles")
+        origin = max(self.sim.now, self.spec.start_s)
+        past = [a for a in arrivals if a.time < origin]
+        if past:
+            newest = max(past, key=lambda a: (a.time, a.profile.tg))
+            self.sim.schedule_at(origin, self._on_profile, newest.profile)
         for arrival in arrivals:
-            self.sim.schedule_at(
-                max(self.sim.now, arrival.time), self._on_profile, arrival.profile
-            )
-        self.sim.schedule_at(1.3 * self.spec.period_s, self._watchdog)
+            if arrival.time >= origin:
+                self.sim.schedule_at(arrival.time, self._on_profile, arrival.profile)
+        # First watchdog relative to the *effective* origin: for a session
+        # registered after its nominal start the collapsed profile adopts
+        # at `origin`, and a watchdog in the same instant would see only
+        # silence and immediately re-inject a superseding chain.
+        self.sim.schedule_at(origin + 1.3 * self.spec.period_s, self._watchdog)
 
     def _watchdog(self) -> None:
         """Recover a dead prefetch chain.
@@ -162,7 +187,7 @@ class MobiQueryGateway(BaseGateway):
         consecutive deadlines pass without any delivery.
         """
         now = self.sim.now
-        k_due = int(now / self.spec.period_s)
+        k_due = self.spec.period_index(now)
         if (
             self.current_profile is not None
             and k_due >= 2
@@ -177,8 +202,11 @@ class MobiQueryGateway(BaseGateway):
                 # whatever half-dead state the silence came from.
                 self.current_profile = self.current_profile.regenerated()
                 self._inject(self.current_profile, k_next, None)
-        if (k_due + 1) * self.spec.period_s < self.spec.lifetime_s:
-            self.sim.schedule_at((k_due + 1.3) * self.spec.period_s, self._watchdog)
+        if k_due + 1 <= self.spec.num_periods:
+            self.sim.schedule_at(
+                self.spec.deadline(k_due + 1) + 0.3 * self.spec.period_s,
+                self._watchdog,
+            )
 
     # ------------------------------------------------------------------
     # Profile handling
@@ -192,7 +220,7 @@ class MobiQueryGateway(BaseGateway):
         profile = profile.regenerated()
         self.current_profile = profile
         now = self.sim.now
-        k_next = int(now / self.spec.period_s) + 1
+        k_next = self.spec.period_index(now) + 1
         while k_next <= self.spec.num_periods and self.spec.deadline(k_next) <= now:
             k_next += 1
         if k_next > self.spec.num_periods:
@@ -305,7 +333,7 @@ class MobiQueryGateway(BaseGateway):
     # ------------------------------------------------------------------
     def _on_result(self, proxy: MobileEndpoint, frame: Frame) -> None:
         msg: ResultMessage = frame.payload
-        if msg.query_id != self.spec.query_id:
+        if (msg.user_id, msg.query_id) != self.spec.session_key:
             return
         self.record_delivery(
             msg.k,
@@ -338,7 +366,7 @@ class NoPrefetchGateway(BaseGateway):
     def start(self) -> None:
         """Schedule one query broadcast at the start of every period."""
         for k in range(1, self.spec.num_periods + 1):
-            issue_at = (k - 1) * self.spec.period_s + 1e-3
+            issue_at = self.spec.deadline(k) - self.spec.period_s + 1e-3
             self.sim.schedule_at(max(self.sim.now, issue_at), self._issue, k)
 
     def _issue(self, k: int) -> None:
@@ -352,6 +380,7 @@ class NoPrefetchGateway(BaseGateway):
             proxy_id=self.proxy.node_id,
             issue_position=position,
             radius_m=self.spec.radius_m,
+            user_id=self.spec.user_id,
         )
         envelope = self.flood.start_flood(
             area=Circle(position, self.spec.radius_m),
@@ -365,7 +394,7 @@ class NoPrefetchGateway(BaseGateway):
 
     def _on_report(self, proxy: MobileEndpoint, frame: Frame) -> None:
         msg: NpReportMessage = frame.payload
-        if msg.query_id != self.spec.query_id:
+        if (msg.user_id, msg.query_id) != self.spec.session_key:
             return
         partial = self._partials.setdefault(msg.k, AggregateState())
         before = len(partial.contributors)
@@ -378,3 +407,54 @@ class NoPrefetchGateway(BaseGateway):
             frozenset(partial.contributors),
             area_center=self._issue_positions.get(msg.k),
         )
+
+
+class SessionScheduler:
+    """Registry and starter for concurrent query sessions.
+
+    One scheduler per run owns all the gateways sharing a network: it
+    enforces that every ``(user_id, query_id)`` session is unique, starts
+    each gateway at its spec's ``start_s`` (sessions added mid-run start
+    immediately if their origin has passed), and exposes the session table
+    for workload-level bookkeeping.  Protocol instances stay shared — the
+    scheduler only manages the per-user proxy side.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self._gateways: Dict[Tuple[int, int], BaseGateway] = {}
+        self._started: Set[Tuple[int, int]] = set()
+
+    def add(self, gateway: BaseGateway) -> None:
+        """Register ``gateway`` and schedule its session start."""
+        key = gateway.session_key
+        if key in self._gateways:
+            raise ValueError(f"session {key} already scheduled")
+        self._gateways[key] = gateway
+        start_s = gateway.spec.start_s
+        if start_s <= self.sim.now:
+            self._start(key)
+        else:
+            self.sim.schedule_at(start_s, self._start, key)
+
+    def _start(self, key: Tuple[int, int]) -> None:
+        if key in self._started:
+            return
+        self._started.add(key)
+        self._gateways[key].start()
+
+    def gateway(self, user_id: int, query_id: int) -> BaseGateway:
+        """The gateway serving session ``(user_id, query_id)``."""
+        return self._gateways[(user_id, query_id)]
+
+    def gateways(self) -> List[BaseGateway]:
+        """All registered gateways in session-key order."""
+        return [self._gateways[key] for key in sorted(self._gateways)]
+
+    def session_keys(self) -> List[Tuple[int, int]]:
+        """All registered ``(user_id, query_id)`` keys, sorted."""
+        return sorted(self._gateways)
+
+    def started_count(self) -> int:
+        """How many sessions have begun issuing queries."""
+        return len(self._started)

@@ -73,6 +73,11 @@ class SetupMessage:
     pickup_radius_m: float
     profile_generation: int
     aggregation_attribute: str
+    user_id: int = 0
+
+    @property
+    def session_key(self) -> "tuple[int, int]":
+        return (self.user_id, self.query_id)
 
 
 @dataclass(frozen=True)
@@ -83,6 +88,7 @@ class ReportMessage:
     k: int
     child_id: int
     partial: AggregateState
+    user_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -100,6 +106,7 @@ class ResultMessage:
     sent_at: float
     pickup: Vec2
     area: QueryArea
+    user_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -120,6 +127,7 @@ class CancelMessage:
     misses: int = 0
     spec: Optional[QuerySpec] = None
     profile: Optional[MotionProfile] = None
+    user_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -138,6 +146,7 @@ class NpQueryMessage:
     proxy_id: int
     issue_position: Vec2
     radius_m: float
+    user_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -148,3 +157,4 @@ class NpReportMessage:
     k: int
     node_id: int
     value: float
+    user_id: int = 0

@@ -140,7 +140,10 @@ def build_session_metrics(
     is the state at the deadline).
     """
     records: List[PeriodRecord] = []
-    periods = min(spec.num_periods, int(duration_s / spec.period_s + 1e-9))
+    # Deadlines past the run horizon never had a chance to be served:
+    # score only the periods whose deadline falls inside the run.
+    in_run = int((duration_s - spec.start_s) / spec.period_s + 1e-9)
+    periods = min(spec.num_periods, max(0, in_run))
     for k in range(1, periods + 1):
         deadline = spec.deadline(k)
         user_position = true_path.position_at(deadline)
@@ -217,9 +220,21 @@ class StorageTracker:
     ``tree-released`` events.
     """
 
-    def __init__(self, tracer: Tracer, spec: QuerySpec) -> None:
+    def __init__(
+        self,
+        tracer: Tracer,
+        spec: QuerySpec,
+        specs: Optional[List[QuerySpec]] = None,
+    ) -> None:
         self.spec = spec
-        self._live_collectors: Dict[int, float] = {}  # k -> assign time
+        # session key -> spec, so each session's period arithmetic uses its
+        # own origin; sessions not listed fall back to ``spec``.
+        self._spec_by_session: Dict[Tuple[int, int], QuerySpec] = {
+            s.session_key: s for s in (specs or [spec])
+        }
+        # (user, query, k) -> assign time; keyed per session so concurrent
+        # users on one network cannot clobber each other's chain state.
+        self._live_collectors: Dict[Tuple[int, int, int], float] = {}
         self.live_tree_states = 0
         self.max_tree_states = 0
         self.max_prefetch_length = 0
@@ -229,12 +244,16 @@ class StorageTracker:
         tracer.subscribe("tree-created", self._on_tree_created)
         tracer.subscribe("tree-released", self._on_tree_released)
 
+    @staticmethod
+    def _session_key(record: TraceRecord) -> Tuple[int, int, int]:
+        return (record.get("user", 0), record.get("query", 0), record["k"])
+
     def _on_assigned(self, record: TraceRecord) -> None:
-        self._live_collectors[record["k"]] = record.time
+        self._live_collectors[self._session_key(record)] = record.time
         self._update_prefetch_length(record.time)
 
     def _on_released(self, record: TraceRecord) -> None:
-        self._live_collectors.pop(record["k"], None)
+        self._live_collectors.pop(self._session_key(record), None)
 
     def _on_tree_created(self, record: TraceRecord) -> None:
         self.live_tree_states += 1
@@ -244,10 +263,21 @@ class StorageTracker:
         self.live_tree_states -= 1
 
     def _update_prefetch_length(self, now: float) -> None:
-        """Prefetch length: trees set up ahead of the user's current period."""
-        current_period = int(now / self.spec.period_s)
-        ahead = [k for k in self._live_collectors if k > current_period]
-        length = len(ahead)
+        """Prefetch length: trees set up ahead of the user's current period.
+
+        With several sessions live, the reported length is the worst
+        (longest) per-session chain — the per-node storage bound the paper
+        analyses is per chain.  Each session's "current period" is computed
+        against its own origin (``start_s``); sessions whose spec was not
+        registered fall back to the tracker's primary spec.
+        """
+        per_session: Dict[Tuple[int, int], int] = {}
+        for user, query, k in self._live_collectors:
+            key = (user, query)
+            spec = self._spec_by_session.get(key, self.spec)
+            if k > spec.period_index(now):
+                per_session[key] = per_session.get(key, 0) + 1
+        length = max(per_session.values(), default=0)
         self.prefetch_length_series.append((now, length))
         self.max_prefetch_length = max(self.max_prefetch_length, length)
 

@@ -53,6 +53,12 @@ class QuerySpec:
         area_template: optional non-disk query-area shape (sector,
             corridor, ...) — the extension the paper's Section 3 sketches.
         query_id: unique id (auto-assigned).
+        user_id: owning mobile user.  All in-network protocol state is
+            keyed by ``(user_id, query_id)`` so concurrent sessions from
+            different users never clobber each other.
+        start_s: session origin — the k-th deadline falls at
+            ``start_s + k * period_s``, which lets a multi-user workload
+            stagger session starts on one shared kernel clock.
     """
 
     attribute: str = "temperature"
@@ -63,6 +69,8 @@ class QuerySpec:
     lifetime_s: float = 400.0
     area_template: Optional[AreaTemplate] = None
     query_id: int = field(default_factory=lambda: next(_query_ids))
+    user_id: int = 0
+    start_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.radius_m <= 0:
@@ -73,6 +81,18 @@ class QuerySpec:
             raise ValueError("freshness bound must be > 0")
         if self.lifetime_s < self.period_s:
             raise ValueError("lifetime must cover at least one period")
+        if self.start_s < 0:
+            raise ValueError("session start must be >= 0")
+
+    @property
+    def session_key(self) -> "tuple[int, int]":
+        """The ``(user_id, query_id)`` pair all protocol state is keyed by."""
+        return (self.user_id, self.query_id)
+
+    @property
+    def end_s(self) -> float:
+        """Absolute end of the session (``start_s + lifetime_s``)."""
+        return self.start_s + self.lifetime_s
 
     @property
     def effective_radius_m(self) -> float:
@@ -95,11 +115,21 @@ class QuerySpec:
         """Delivery deadline of the k-th result (k starts at 1)."""
         if k < 1:
             raise ValueError(f"period index must be >= 1, got {k}")
-        return k * self.period_s
+        return self.start_s + k * self.period_s
 
     def sense_time(self, k: int) -> float:
         """Earliest reading time that is still fresh at the k-th deadline."""
         return self.deadline(k) - self.freshness_s
+
+    def period_index(self, t: float) -> int:
+        """The period containing absolute time ``t`` (0 before deadline 1).
+
+        ``period_index(deadline(k)) == k``: a deadline instant belongs to
+        the period it closes, matching the gateway's watchdog arithmetic.
+        The epsilon guards non-representable period lengths (0.7, 0.3, ...)
+        the same way :attr:`num_periods` does.
+        """
+        return int((t - self.start_s) / self.period_s + 1e-9)
 
 
 @dataclass

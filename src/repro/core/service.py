@@ -124,13 +124,16 @@ class MobiQueryProtocol:
         self.config = config or MobiQueryConfig()
         self.tracer = tracer if tracer is not None else network.tracer
         self.sim = network.sim
-        # Protocol state, all keyed so concurrent queries coexist.
-        self._collectors: Dict[Tuple[int, int], CollectorState] = {}
-        self._tree_states: Dict[Tuple[int, int, int], TreeNodeState] = {}
-        # node id -> {(query_id, generation): lowest cancelled pickup index}.
-        # Cancellation is k-aware: "generation G is dead from pickup k on"
-        # — the same node may still serve earlier pickups of that chain.
-        self._cancelled_from: Dict[int, Dict[Tuple[int, int], int]] = {}
+        # Protocol state, all keyed by (user_id, query_id, ...) so the
+        # concurrent sessions of a multi-user workload share one protocol
+        # instance (and the backbone) without clobbering each other.
+        self._collectors: Dict[Tuple[int, int, int], CollectorState] = {}
+        self._tree_states: Dict[Tuple[int, int, int, int], TreeNodeState] = {}
+        # node id -> {(user_id, query_id, generation): lowest cancelled
+        # pickup index}.  Cancellation is k-aware: "generation G is dead
+        # from pickup k on" — the same node may still serve earlier pickups
+        # of that chain.
+        self._cancelled_from: Dict[int, Dict[Tuple[int, int, int], int]] = {}
         self._pending_batches: Dict[int, List[SetupMessage]] = {}
         self._batch_scheduled: Set[int] = set()
         for node in network.nodes:
@@ -148,7 +151,8 @@ class MobiQueryProtocol:
         """Eq. (10): latest safe send time for the message targeting
         pickup ``k`` (sent by collector ``k-1``)."""
         return (
-            (k - 1) * spec.period_s
+            spec.start_s
+            + (k - 1) * spec.period_s
             - self.network.config.sleep_period_s
             - 2.0 * spec.freshness_s
         )
@@ -204,7 +208,7 @@ class MobiQueryProtocol:
         handle = self.sim.schedule_at(
             send_at, self._forward_prefetch, node, spec, profile, k, proxy_id
         )
-        key = (spec.query_id, k - 1)
+        key = (spec.user_id, spec.query_id, k - 1)
         holder = self._collectors.get(key)
         if holder is not None and holder.node_id == node.node_id:
             holder.forward_timer = handle
@@ -217,7 +221,9 @@ class MobiQueryProtocol:
         k: int,
         proxy_id: int,
     ) -> None:
-        if self._is_cancelled(node.node_id, spec.query_id, profile.generation, k):
+        if self._is_cancelled(
+            node.node_id, spec.user_id, spec.query_id, profile.generation, k
+        ):
             return
         pickup = self.pickup_point(profile, spec, k)
         message = PrefetchMessage(spec=spec, profile=profile, k=k, proxy_id=proxy_id)
@@ -241,9 +247,11 @@ class MobiQueryProtocol:
         msg: PrefetchMessage = frame.payload
         spec, profile, k = msg.spec, msg.profile, msg.k
         now = self.sim.now
-        if self._is_cancelled(node.node_id, spec.query_id, profile.generation, k):
+        if self._is_cancelled(
+            node.node_id, spec.user_id, spec.query_id, profile.generation, k
+        ):
             return
-        key = (spec.query_id, k)
+        key = (spec.user_id, spec.query_id, k)
         existing = self._collectors.get(key)
         if existing is not None:
             if existing.profile.generation >= profile.generation:
@@ -269,6 +277,7 @@ class MobiQueryProtocol:
             node=node.node_id,
             gen=profile.generation,
             query=spec.query_id,
+            user=spec.user_id,
         )
         self._setup_tree(node, collector)
         self._schedule_prefetch_forward(node, spec, profile, k + 1, msg.proxy_id)
@@ -296,19 +305,21 @@ class MobiQueryProtocol:
             pickup_radius_m=self.config.pickup_radius_m,
             profile_generation=collector.profile.generation,
             aggregation_attribute=spec.attribute,
+            user_id=spec.user_id,
         )
         self.tracer.emit(
             "tree-setup-start",
             self.sim.now,
             k=collector.k,
             query=spec.query_id,
+            user=spec.user_id,
             pickup_x=pickup.x,
             pickup_y=pickup.y,
             collector=node.node_id,
         )
         # The collector roots the tree even if the anycast delivered outside
         # the nominal Rp disk (expanded delivery under sparse backbones).
-        key = (node.node_id, spec.query_id, collector.k)
+        key = (node.node_id, spec.user_id, spec.query_id, collector.k)
         existing = self._tree_states.get(key)
         if existing is not None:
             # This node was a member of the superseded generation's tree:
@@ -342,7 +353,7 @@ class MobiQueryProtocol:
             self._handle_setup(node, setup, src_id=frame.src)
 
     def _handle_setup(self, node: SensorNode, setup: SetupMessage, src_id: int) -> None:
-        key = (node.node_id, setup.query_id, setup.k)
+        key = (node.node_id, setup.user_id, setup.query_id, setup.k)
         existing = self._tree_states.get(key)
         if existing is not None:
             if setup.profile_generation > existing.profile_generation:
@@ -366,7 +377,7 @@ class MobiQueryProtocol:
     def _create_tree_state(
         self, node: SensorNode, setup: SetupMessage, parent_id: Optional[int]
     ) -> Optional[TreeNodeState]:
-        key = (node.node_id, setup.query_id, setup.k)
+        key = (node.node_id, setup.user_id, setup.query_id, setup.k)
         if key in self._tree_states:
             return None
         state = TreeNodeState(
@@ -379,6 +390,7 @@ class MobiQueryProtocol:
             deadline=setup.deadline,
             created_at=self.sim.now,
             profile_generation=setup.profile_generation,
+            user_id=setup.user_id,
         )
         self._tree_states[key] = state
         self.tracer.emit(
@@ -387,6 +399,7 @@ class MobiQueryProtocol:
             node=node.node_id,
             k=setup.k,
             query=setup.query_id,
+            user=setup.user_id,
         )
         self.sim.schedule_at(
             setup.deadline + self.config.state_gc_grace_s,
@@ -395,7 +408,7 @@ class MobiQueryProtocol:
         )
         return state
 
-    def _gc_tree_state(self, key: Tuple[int, int, int]) -> None:
+    def _gc_tree_state(self, key: Tuple[int, int, int, int]) -> None:
         state = self._tree_states.pop(key, None)
         if state is not None:
             state.cancel_timer()
@@ -405,6 +418,7 @@ class MobiQueryProtocol:
                 node=state.node_id,
                 k=state.k,
                 query=state.query_id,
+                user=state.user_id,
             )
 
     def _reparent_to_new_generation(
@@ -616,6 +630,7 @@ class MobiQueryProtocol:
             k=state.k,
             child_id=node.node_id,
             partial=state.partial.copy(),
+            user_id=state.user_id,
         )
         frame = Frame(
             kind="mq-report",
@@ -628,7 +643,7 @@ class MobiQueryProtocol:
 
     def _on_report(self, node: SensorNode, frame: Frame) -> None:
         msg: ReportMessage = frame.payload
-        key = (node.node_id, msg.query_id, msg.k)
+        key = (node.node_id, msg.user_id, msg.query_id, msg.k)
         state = self._tree_states.get(key)
         if state is None or state.sent:
             self.tracer.emit(
@@ -641,7 +656,8 @@ class MobiQueryProtocol:
         if collector.cancelled or collector.result_sent:
             return
         collector.result_sent = True
-        key = (node.node_id, collector.spec.query_id, collector.k)
+        spec = collector.spec
+        key = (node.node_id, spec.user_id, spec.query_id, collector.k)
         state = self._tree_states.get(key)
         partial = state.partial if state is not None else AggregateState()
         area = self.query_area(collector.profile, collector.spec, collector.k)
@@ -652,13 +668,14 @@ class MobiQueryProtocol:
                     AggregateState.from_reading(node.node_id, node.read_sensor())
                 )
         message = ResultMessage(
-            query_id=collector.spec.query_id,
+            query_id=spec.query_id,
             k=collector.k,
             collector_id=node.node_id,
             aggregate=partial.copy(),
             sent_at=self.sim.now,
-            pickup=self.pickup_point(collector.profile, collector.spec, collector.k),
+            pickup=self.pickup_point(collector.profile, spec, collector.k),
             area=area,
+            user_id=spec.user_id,
         )
         frame = Frame(
             kind="mq-result",
@@ -704,6 +721,7 @@ class MobiQueryProtocol:
             misses=0,
             spec=spec,
             profile=profile,
+            user_id=spec.user_id,
         )
         self._route_cancel(node, message)
 
@@ -718,20 +736,22 @@ class MobiQueryProtocol:
             inner_size=CANCEL_SIZE_BYTES,
         )
 
-    def _is_cancelled(self, node_id: int, query_id: int, generation: int, k: int) -> bool:
+    def _is_cancelled(
+        self, node_id: int, user_id: int, query_id: int, generation: int, k: int
+    ) -> bool:
         """Whether pickup ``k`` of ``generation``'s chain is cancelled here."""
         marks = self._cancelled_from.get(node_id)
         if not marks:
             return False
-        min_k = marks.get((query_id, generation))
+        min_k = marks.get((user_id, query_id, generation))
         return min_k is not None and k >= min_k
 
     def _on_cancel(self, node: SensorNode, frame: Frame) -> None:
         msg: CancelMessage = frame.payload
         marks = self._cancelled_from.setdefault(node.node_id, {})
-        gen_key = (msg.query_id, msg.profile_generation)
+        gen_key = (msg.user_id, msg.query_id, msg.profile_generation)
         marks[gen_key] = min(marks.get(gen_key, msg.k), msg.k)
-        key = (msg.query_id, msg.k)
+        key = (msg.user_id, msg.query_id, msg.k)
         collector = self._collectors.get(key)
         matched = (
             collector is not None
@@ -756,28 +776,56 @@ class MobiQueryProtocol:
             misses=misses,
             spec=msg.spec,
             profile=msg.profile,
+            user_id=msg.user_id,
         )
         self._route_cancel(node, forward)
 
     def _release_collector(self, collector: CollectorState, reason: str) -> None:
         collector.cancelled = True
         collector.cancel_timers()
-        self._collectors.pop((collector.spec.query_id, collector.k), None)
+        spec = collector.spec
+        self._collectors.pop((spec.user_id, spec.query_id, collector.k), None)
         self.tracer.emit(
             "collector-released",
             self.sim.now,
             k=collector.k,
             node=collector.node_id,
             reason=reason,
+            query=spec.query_id,
+            user=spec.user_id,
         )
 
     # ------------------------------------------------------------------
     # Introspection (tests, metrics)
     # ------------------------------------------------------------------
-    def live_collector_periods(self) -> List[int]:
-        """Periods with an assigned, uncancelled collector right now."""
-        return sorted(cs.k for cs in self._collectors.values() if not cs.cancelled)
+    def live_collector_periods(
+        self, session: Optional[Tuple[int, int]] = None
+    ) -> List[int]:
+        """Periods with an assigned, uncancelled collector right now.
 
-    def tree_state_count(self) -> int:
-        """Total tree states currently stored across all nodes."""
-        return len(self._tree_states)
+        ``session`` restricts the answer to one ``(user_id, query_id)``
+        session; by default all sessions are pooled (the single-user view).
+        """
+        return sorted(
+            cs.k
+            for cs in self._collectors.values()
+            if not cs.cancelled and (session is None or cs.session_key == session)
+        )
+
+    def tree_state_count(self, session: Optional[Tuple[int, int]] = None) -> int:
+        """Tree states currently stored across all nodes.
+
+        ``session`` restricts the count to one ``(user_id, query_id)``
+        session's trees.
+        """
+        if session is None:
+            return len(self._tree_states)
+        return sum(
+            1 for st in self._tree_states.values() if st.session_key == session
+        )
+
+    def active_sessions(self) -> List[Tuple[int, int]]:
+        """All ``(user_id, query_id)`` sessions with live in-network state."""
+        keys = {cs.session_key for cs in self._collectors.values()}
+        keys.update(st.session_key for st in self._tree_states.values())
+        return sorted(keys)

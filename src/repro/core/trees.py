@@ -34,6 +34,12 @@ class TreeNodeState:
     partial: AggregateState = field(default_factory=AggregateState)
     sent: bool = False
     send_timer: Optional[EventHandle] = None
+    user_id: int = 0
+
+    @property
+    def session_key(self) -> "tuple[int, int]":
+        """The owning ``(user_id, query_id)`` session."""
+        return (self.user_id, self.query_id)
 
     @property
     def is_root(self) -> bool:
@@ -61,6 +67,11 @@ class CollectorState:
     result_sent: bool = False
     forward_timer: Optional[EventHandle] = None
     result_timer: Optional[EventHandle] = None
+
+    @property
+    def session_key(self) -> "tuple[int, int]":
+        """The owning ``(user_id, query_id)`` session."""
+        return self.spec.session_key
 
     @property
     def deadline(self) -> float:

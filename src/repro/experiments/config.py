@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 from ..core.query import Aggregation
 from ..mobility.models import RandomDirectionConfig
 from ..net.network import NetworkConfig
+from ..workload.arrivals import ARRIVAL_PROCESSES, ARRIVAL_STAGGERED
 
 #: service variants
 MODE_JIT = "jit"
@@ -67,6 +68,16 @@ class ExperimentConfig:
     parent_upgrade: bool = True
     #: ablation flag — PSM-style setup redelivery across beacon windows
     redeliver_setups: bool = True
+    #: concurrent mobile users sharing the network (1 = the paper's setting)
+    num_users: int = 1
+    #: how session starts are spread (see :mod:`repro.workload.arrivals`).
+    #: Staggered by default, matching the CLI: simultaneous arrivals
+    #: phase-lock every session's deadlines and cost 10-20 pp of success
+    #: ratio at N=4 (report storms collide) — opt into ``simultaneous``
+    #: only to study that contention regime.
+    arrival_process: str = ARRIVAL_STAGGERED
+    #: arrival spacing / window share / mean interarrival, per the process
+    arrival_spacing_s: float = 2.5
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -78,6 +89,17 @@ class ExperimentConfig:
             )
         if self.duration_s < self.query.period_s:
             raise ValueError("duration must cover at least one query period")
+        if self.num_users < 1:
+            raise ValueError(f"num_users must be >= 1, got {self.num_users}")
+        if self.arrival_process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.arrival_process!r}; "
+                f"expected one of {ARRIVAL_PROCESSES}"
+            )
+        if self.arrival_spacing_s < 0:
+            raise ValueError("arrival spacing must be >= 0")
+        if self.num_users > 1 and self.mode == MODE_IDLE:
+            raise ValueError("idle runs have no users to multiply")
 
     # ------------------------------------------------------------------
     # Sweep helpers (each figure varies one axis)
@@ -107,6 +129,28 @@ class ExperimentConfig:
     def with_gps_error(self, gps_error_m: float) -> "ExperimentConfig":
         return replace(
             self, profile_mode=PROFILE_PREDICTOR, gps_error_m=gps_error_m
+        )
+
+    def with_num_users(
+        self,
+        num_users: int,
+        arrival_process: Optional[str] = None,
+        arrival_spacing_s: Optional[float] = None,
+    ) -> "ExperimentConfig":
+        """The multi-user scaling axis: same run, N concurrent users."""
+        return replace(
+            self,
+            num_users=num_users,
+            arrival_process=(
+                arrival_process
+                if arrival_process is not None
+                else self.arrival_process
+            ),
+            arrival_spacing_s=(
+                arrival_spacing_s
+                if arrival_spacing_s is not None
+                else self.arrival_spacing_s
+            ),
         )
 
 

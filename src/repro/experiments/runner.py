@@ -4,21 +4,25 @@
 uses: it assembles the kernel, network, CCP backbone, routing/flooding,
 the requested service variant and the user's mobility + profile pipeline,
 runs the session, and returns a :class:`RunResult` bundling all metrics.
+
+Since the multi-user workload engine landed, a config with ``num_users``
+> 1 spawns that many concurrent user sessions on the *same* network: one
+shared protocol instance, one kernel, N proxies/paths/gateways started
+per the configured arrival process.  ``num_users=1`` reproduces the
+paper's single-user runs exactly (same RNG streams, same results).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from ..core.baseline import NoPrefetchProtocol
-from ..core.gateway import BaseGateway, MobiQueryGateway, NoPrefetchGateway
 from ..core.metrics import (
     ContentionTracker,
     PowerReport,
     SessionMetrics,
     StorageTracker,
-    build_session_metrics,
     measure_power,
 )
 from ..core.query import QuerySpec
@@ -32,12 +36,14 @@ from ..mobility.predictor import HistoryPredictorProvider
 from ..mobility.profile import ProfileProvider
 from ..net.flooding import FloodManager
 from ..net.network import build_network
-from ..net.node import MobileEndpoint
 from ..net.routing import GeoRouter
 from ..power.ccp import CcpProtocol
 from ..sim.kernel import Simulator
 from ..sim.rng import RandomStreams
 from ..sim.trace import Tracer
+from ..workload.arrivals import arrival_times
+from ..workload.engine import Workload, WorkloadResult
+from ..workload.session import PROXY_ID_BASE, SessionResult, UserPlan
 from .config import (
     MODE_GREEDY,
     MODE_IDLE,
@@ -49,8 +55,8 @@ from .config import (
     ExperimentConfig,
 )
 
-#: node id assigned to the user's proxy endpoint
-PROXY_NODE_ID = 100_000
+#: node id assigned to user 0's proxy endpoint (user ``u`` gets base + u)
+PROXY_NODE_ID = PROXY_ID_BASE
 
 #: extra simulated time after the last deadline (late stragglers, GC)
 RUN_TAIL_S = 0.5
@@ -70,15 +76,39 @@ class RunResult:
     frames_sent: int
     frames_collided: int
     events_executed: int
+    #: per-user scored sessions (one entry for single-user runs, empty for idle)
+    sessions: List[SessionResult] = field(default_factory=list)
 
     @property
     def success_ratio(self) -> float:
-        """Headline number (0.0 for idle runs)."""
+        """Headline number (0.0 for idle runs).
+
+        For multi-user runs this is user 0's ratio — the baseline-aligned
+        session; use the ``user_*`` accessors for fleet-wide numbers.
+        """
         return self.metrics.success_ratio() if self.metrics else 0.0
+
+    @property
+    def workload(self) -> WorkloadResult:
+        """The sessions viewed as a workload result (fleet aggregates)."""
+        return WorkloadResult(sessions=self.sessions)
+
+    @property
+    def user_success_ratios(self) -> List[float]:
+        """Per-user success ratios in user order."""
+        return self.workload.success_ratios()
+
+    @property
+    def mean_user_success_ratio(self) -> float:
+        return self.workload.mean_success_ratio()
+
+    @property
+    def min_user_success_ratio(self) -> float:
+        return self.workload.min_success_ratio()
 
 
 def run_experiment(config: ExperimentConfig) -> RunResult:
-    """Run one full session described by ``config``."""
+    """Run one full session (or N concurrent ones) described by ``config``."""
     sim = Simulator()
     streams = RandomStreams(config.seed)
     tracer = Tracer()
@@ -92,73 +122,78 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     CcpProtocol().apply(network, streams)
     geo = GeoRouter(network)
     flood = FloodManager(network)
-    true_path = _make_user_path(config, streams)
-    proxy = MobileEndpoint(
-        node_id=PROXY_NODE_ID,
-        sim=sim,
-        channel=network.channel,
-        rng=streams.stream("proxy"),
-        position_fn=true_path.position_at,
-        mac_config=config.network.mac,
-        tracer=tracer,
-    )
-    network.channel.register_mobile(proxy)
-    spec = QuerySpec(
-        attribute=config.query.attribute,
-        aggregation=config.query.aggregation,
-        radius_m=config.query.radius_m,
-        period_s=config.query.period_s,
-        freshness_s=config.query.freshness_s,
-        lifetime_s=config.duration_s,
-    )
-    gateway: Optional[BaseGateway] = None
+
+    workload = Workload(network, tracer)
     storage: Optional[StorageTracker] = None
     contention: Optional[ContentionTracker] = None
-    if config.mode in (MODE_JIT, MODE_GREEDY):
-        protocol = MobiQueryProtocol(
-            network,
-            geo,
-            MobiQueryConfig(
-                prefetch_policy=config.mode,
-                pickup_radius_m=config.pickup_radius_m,
-                parent_upgrade=config.parent_upgrade,
-                redeliver_setups=config.redeliver_setups,
-            ),
-            tracer,
-        )
-        provider = _make_profile_provider(config, true_path, streams)
-        storage = StorageTracker(tracer, spec)
-        contention = ContentionTracker(
-            tracer,
-            sleep_period_s=config.network.sleep_period_s,
-            active_window_s=config.network.active_window_s,
-            query_radius_m=config.query.radius_m,
-            comm_range_m=config.network.comm_range_m,
-            psm_offset_s=psm_offset,
-        )
-        mq_gateway = MobiQueryGateway(proxy, network, spec, protocol, provider, tracer)
-        mq_gateway.start()
-        gateway = mq_gateway
-    elif config.mode == MODE_NP:
-        np_protocol = NoPrefetchProtocol(network, geo, flood, tracer=tracer)
-        np_gateway = NoPrefetchGateway(proxy, network, spec, np_protocol, flood, tracer)
-        np_gateway.start()
-        gateway = np_gateway
-    elif config.mode != MODE_IDLE:  # pragma: no cover - config validates
-        raise ValueError(f"unhandled mode {config.mode!r}")
+    if config.mode != MODE_IDLE:
+        starts = _arrival_schedule(config, streams)
+        paths = [
+            _make_user_path(config, streams, user_id)
+            for user_id in range(config.num_users)
+        ]
+        specs = [
+            _make_spec(config, user_id, starts[user_id])
+            for user_id in range(config.num_users)
+        ]
+        if config.mode in (MODE_JIT, MODE_GREEDY):
+            protocol = MobiQueryProtocol(
+                network,
+                geo,
+                MobiQueryConfig(
+                    prefetch_policy=config.mode,
+                    pickup_radius_m=config.pickup_radius_m,
+                    parent_upgrade=config.parent_upgrade,
+                    redeliver_setups=config.redeliver_setups,
+                ),
+                tracer,
+            )
+            storage = StorageTracker(tracer, specs[0], specs=specs)
+            contention = ContentionTracker(
+                tracer,
+                sleep_period_s=config.network.sleep_period_s,
+                active_window_s=config.network.active_window_s,
+                query_radius_m=config.query.radius_m,
+                comm_range_m=config.network.comm_range_m,
+                psm_offset_s=psm_offset,
+            )
+            for user_id in range(config.num_users):
+                plan = UserPlan(
+                    user_id=user_id,
+                    spec=specs[user_id],
+                    path=paths[user_id],
+                    provider=_make_profile_provider(
+                        config, paths[user_id], streams, user_id
+                    ),
+                )
+                workload.add_mobiquery_user(
+                    plan, protocol, rng=streams.stream(_user_stream("proxy", user_id))
+                )
+        elif config.mode == MODE_NP:
+            np_protocol = NoPrefetchProtocol(network, geo, flood, tracer=tracer)
+            for user_id in range(config.num_users):
+                plan = UserPlan(
+                    user_id=user_id, spec=specs[user_id], path=paths[user_id]
+                )
+                workload.add_noprefetch_user(
+                    plan,
+                    np_protocol,
+                    flood,
+                    rng=streams.stream(_user_stream("proxy", user_id)),
+                )
+        else:  # pragma: no cover - config validation guarantees the set
+            raise ValueError(f"unhandled mode {config.mode!r}")
 
     sim.run(until=config.duration_s + RUN_TAIL_S)
 
+    sessions: List[SessionResult] = []
     metrics = None
-    if gateway is not None:
-        metrics = build_session_metrics(
-            gateway,
-            network,
-            spec,
-            true_path,
-            config.duration_s,
-            fidelity_threshold=config.fidelity_threshold,
+    if workload.sessions:
+        result = workload.finalize(
+            config.duration_s, fidelity_threshold=config.fidelity_threshold
         )
+        sessions = result.sessions
+        metrics = sessions[0].metrics
     return RunResult(
         config=config,
         metrics=metrics,
@@ -170,6 +205,7 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         frames_sent=network.channel.frames_sent,
         frames_collided=network.channel.frames_collided,
         events_executed=sim.events_executed,
+        sessions=sessions,
     )
 
 
@@ -188,20 +224,77 @@ def mean_success_ratio(results: List[RunResult]) -> float:
 # ----------------------------------------------------------------------
 # Pieces
 # ----------------------------------------------------------------------
-def _make_user_path(
-    config: ExperimentConfig, streams: RandomStreams
-) -> PiecewisePath:
-    """The paper's user motion: random-direction from the region corner."""
-    region = config.network.region
-    start = Vec2(
-        region.x_min + config.mobility.margin_m,
-        region.y_min + config.mobility.margin_m,
+def _user_stream(base: str, user_id: int) -> str:
+    """Stream name for a per-user random source.
+
+    User 0 keeps the historical un-suffixed names so ``num_users=1`` runs
+    consume exactly the same random sequences as before the multi-user
+    engine existed (bit-for-bit reproducibility of the paper figures).
+    """
+    return base if user_id == 0 else f"{base}.u{user_id}"
+
+
+def _arrival_schedule(config: ExperimentConfig, streams: RandomStreams) -> List[float]:
+    """Session start times; every user must keep >= 1 serviceable period."""
+    starts = arrival_times(
+        config.num_users,
+        process=config.arrival_process,
+        spacing_s=config.arrival_spacing_s,
+        rng=streams.stream("arrivals"),
     )
+    latest = config.duration_s - config.query.period_s
+    for user_id, start in enumerate(starts):
+        if start > latest:
+            raise ValueError(
+                f"user {user_id} arrives at {start:.1f}s but the run ends at "
+                f"{config.duration_s:.1f}s — no serviceable period left; "
+                f"shorten the arrival spacing or lengthen the run"
+            )
+    return starts
+
+
+def _make_spec(config: ExperimentConfig, user_id: int, start_s: float) -> QuerySpec:
+    """One user's query spec: session runs from arrival to the run end."""
+    return QuerySpec(
+        attribute=config.query.attribute,
+        aggregation=config.query.aggregation,
+        radius_m=config.query.radius_m,
+        period_s=config.query.period_s,
+        freshness_s=config.query.freshness_s,
+        lifetime_s=config.duration_s - start_s,
+        user_id=user_id,
+        start_s=start_s,
+    )
+
+
+def _make_user_path(
+    config: ExperimentConfig, streams: RandomStreams, user_id: int = 0
+) -> PiecewisePath:
+    """The paper's user motion: random-direction from the region corner.
+
+    User 0 starts at the corner exactly as in the paper; later users start
+    at an independent uniform position inside the margin-inset region (a
+    fleet piling onto one corner would measure MAC contention at a single
+    cell, not the service).
+    """
+    region = config.network.region
+    rng = streams.stream(_user_stream("mobility", user_id))
+    if user_id == 0:
+        start = Vec2(
+            region.x_min + config.mobility.margin_m,
+            region.y_min + config.mobility.margin_m,
+        )
+    else:
+        margin = config.mobility.margin_m
+        start = Vec2(
+            float(rng.uniform(region.x_min + margin, region.x_max - margin)),
+            float(rng.uniform(region.y_min + margin, region.y_max - margin)),
+        )
     return random_direction_path(
         region=region,
         duration_s=config.duration_s,
         config=config.mobility,
-        rng=streams.stream("mobility"),
+        rng=rng,
         start=start,
     )
 
@@ -210,6 +303,7 @@ def _make_profile_provider(
     config: ExperimentConfig,
     true_path: PiecewisePath,
     streams: RandomStreams,
+    user_id: int = 0,
 ) -> ProfileProvider:
     if config.profile_mode == PROFILE_FULL:
         return FullKnowledgeProvider(true_path, config.duration_s)
@@ -222,7 +316,7 @@ def _make_profile_provider(
             true_path,
             config.duration_s,
             gps=GpsModel(max_error_m=config.gps_error_m),
-            rng=streams.stream("gps"),
+            rng=streams.stream(_user_stream("gps", user_id)),
             sampling_period_s=config.sampling_period_s,
         )
     raise ValueError(f"unhandled profile mode {config.profile_mode!r}")

@@ -1,0 +1,44 @@
+"""Multi-user workload layer: spawn N mobile users on one shared network.
+
+The paper evaluates MobiQuery one mobile user at a time; this package
+opens the concurrency axis.  A :class:`Workload` shares one network,
+kernel and protocol engine across N :class:`UserSession`\\ s — each with
+its own motion path, query spec, profile provider and proxy — started
+according to an arrival process (:mod:`repro.workload.arrivals`), and
+scores every session independently after the run.
+"""
+
+from .arrivals import (
+    ARRIVAL_POISSON,
+    ARRIVAL_PROCESSES,
+    ARRIVAL_SIMULTANEOUS,
+    ARRIVAL_STAGGERED,
+    ARRIVAL_UNIFORM,
+    arrival_times,
+)
+from .engine import Workload, WorkloadResult
+from .session import (
+    PROXY_ID_BASE,
+    SessionResult,
+    UserPlan,
+    UserSession,
+    build_proxy,
+    proxy_id_for,
+)
+
+__all__ = [
+    "ARRIVAL_SIMULTANEOUS",
+    "ARRIVAL_STAGGERED",
+    "ARRIVAL_UNIFORM",
+    "ARRIVAL_POISSON",
+    "ARRIVAL_PROCESSES",
+    "arrival_times",
+    "Workload",
+    "WorkloadResult",
+    "UserPlan",
+    "UserSession",
+    "SessionResult",
+    "PROXY_ID_BASE",
+    "proxy_id_for",
+    "build_proxy",
+]

@@ -1,0 +1,138 @@
+"""The multi-user workload engine.
+
+One :class:`Workload` drives N concurrent user sessions over a single
+shared :class:`~repro.net.network.Network` and simulation kernel.  The
+in-network protocol engines (:class:`MobiQueryProtocol`, or the NP
+baseline) are shared — all users' trees coexist on the same backbone,
+keyed by ``(user_id, query_id)`` — while each user gets an independent
+proxy endpoint, motion path, profile provider and gateway, started at the
+arrival time baked into their spec (``spec.start_s``).
+
+Typical use::
+
+    workload = Workload(network, tracer)
+    for plan in plans:  # one UserPlan per user
+        workload.add_mobiquery_user(plan, protocol, rng=streams.stream(...))
+    workload.run(until=duration + tail)
+    result = workload.finalize(duration)
+    print(result.mean_success_ratio(), result.min_success_ratio())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.baseline import NoPrefetchProtocol
+from ..core.gateway import MobiQueryGateway, NoPrefetchGateway, SessionScheduler
+from ..core.service import MobiQueryProtocol
+from ..net.flooding import FloodManager
+from ..net.network import Network
+from ..sim.trace import Tracer
+from .session import SessionResult, UserPlan, UserSession, build_proxy
+
+
+@dataclass
+class WorkloadResult:
+    """All users' scored sessions from one run."""
+
+    sessions: List[SessionResult]
+
+    @property
+    def num_users(self) -> int:
+        return len(self.sessions)
+
+    def session_for(self, user_id: int) -> SessionResult:
+        """The result of one user's session."""
+        for session in self.sessions:
+            if session.user_id == user_id:
+                return session
+        raise KeyError(f"no session for user {user_id}")
+
+    def success_ratios(self) -> List[float]:
+        """Per-user success ratios in user order."""
+        return [s.success_ratio for s in self.sessions]
+
+    def mean_success_ratio(self) -> float:
+        ratios = self.success_ratios()
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+    def min_success_ratio(self) -> float:
+        ratios = self.success_ratios()
+        return min(ratios) if ratios else 0.0
+
+    def mean_fidelity(self) -> float:
+        if not self.sessions:
+            return 0.0
+        return sum(s.mean_fidelity for s in self.sessions) / len(self.sessions)
+
+
+class Workload:
+    """Spawn and score N user sessions on one shared network."""
+
+    def __init__(self, network: Network, tracer: Optional[Tracer] = None) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.tracer = tracer if tracer is not None else network.tracer
+        self.scheduler = SessionScheduler(network.sim)
+        self.sessions: List[UserSession] = []
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def add_mobiquery_user(
+        self,
+        plan: UserPlan,
+        protocol: MobiQueryProtocol,
+        rng: np.random.Generator,
+    ) -> UserSession:
+        """Spawn one MobiQuery user (JIT/greedy per the shared protocol)."""
+        if plan.provider is None:
+            raise ValueError(
+                f"user {plan.user_id}: a MobiQuery session needs a profile provider"
+            )
+        proxy = build_proxy(plan, self.network, rng, self.tracer)
+        gateway = MobiQueryGateway(
+            proxy, self.network, plan.spec, protocol, plan.provider, self.tracer
+        )
+        return self._register(plan, proxy, gateway)
+
+    def add_noprefetch_user(
+        self,
+        plan: UserPlan,
+        protocol: NoPrefetchProtocol,
+        flood: FloodManager,
+        rng: np.random.Generator,
+    ) -> UserSession:
+        """Spawn one NP-baseline user (per-period broadcast)."""
+        proxy = build_proxy(plan, self.network, rng, self.tracer)
+        gateway = NoPrefetchGateway(
+            proxy, self.network, plan.spec, protocol, flood, self.tracer
+        )
+        return self._register(plan, proxy, gateway)
+
+    def _register(self, plan, proxy, gateway) -> UserSession:
+        session = UserSession(plan=plan, proxy=proxy, gateway=gateway)
+        self.scheduler.add(gateway)  # starts at spec.start_s
+        self.sessions.append(session)
+        return session
+
+    # ------------------------------------------------------------------
+    # Running and scoring
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> None:
+        """Run the shared kernel to ``until`` (all sessions advance)."""
+        self.sim.run(until=until)
+
+    def finalize(
+        self, duration_s: float, fidelity_threshold: float = 0.95
+    ) -> WorkloadResult:
+        """Score every session against its own spec and true path."""
+        return WorkloadResult(
+            sessions=[
+                session.finalize(self.network, duration_s, fidelity_threshold)
+                for session in self.sessions
+            ]
+        )

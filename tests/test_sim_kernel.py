@@ -94,6 +94,107 @@ class TestCancellation:
         assert sim.pending_count == 1
 
 
+class TestEdgeCases:
+    """Corner cases the multi-user workload engine leans on."""
+
+    def test_cancelled_handle_does_not_fire_even_when_cancelled_mid_run(self):
+        """An event may cancel a same-instant later event before it fires."""
+        sim = Simulator()
+        log = []
+        victim = sim.schedule(1.0, log.append, "victim")
+        sim.schedule_at(1.0, victim.cancel)
+        # FIFO order puts `victim` first: it fires before the canceller.
+        sim.run()
+        assert log == ["victim"]
+
+        sim2 = Simulator()
+        log2 = []
+
+        def arm():
+            victim2 = sim2.schedule(0.0, log2.append, "victim")
+            sim2.call_soon(victim2.cancel)
+            victim2.cancel()  # cancelled before its slot: must never fire
+
+        sim2.schedule(1.0, arm)
+        sim2.run()
+        assert log2 == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, log.append, "x")
+        sim.run()
+        handle.cancel()  # already fired: must not corrupt anything
+        assert log == ["x"]
+        assert not handle.pending
+
+    def test_same_instant_fifo_across_schedule_and_schedule_at(self):
+        """Mixing schedule()/schedule_at()/call_soon at one instant keeps
+        strict scheduling order (the seq tie-break)."""
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule_at(1.0, log.append, "b")
+        sim.schedule(1.0, log.append, "c")
+        sim.schedule_at(1.0, log.append, "d")
+        sim.run()
+        assert log == ["a", "b", "c", "d"]
+
+    def test_same_instant_fifo_with_interleaved_cancels(self):
+        sim = Simulator()
+        log = []
+        handles = [sim.schedule(2.0, log.append, tag) for tag in "abcde"]
+        handles[1].cancel()
+        handles[3].cancel()
+        sim.run()
+        assert log == ["a", "c", "e"]
+
+    def test_schedule_in_past_raises_simulation_error_mid_run(self):
+        """Once the clock advanced, scheduling behind it must raise."""
+        sim = Simulator()
+        errors = []
+
+        def backdate():
+            try:
+                sim.schedule_at(sim.now - 0.5, lambda: None)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, backdate)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_reentrant_run_raises(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_peek_skips_cancelled_head(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek() == 2.0
+
+    def test_cancelled_events_do_not_count_as_executed(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(1.0, lambda: None)
+        drop.cancel()
+        sim.run()
+        assert keep is not None
+        assert sim.events_executed == 1
+
+
 class TestRunControl:
     def test_run_until_executes_boundary_events(self):
         sim = Simulator()
