@@ -3,11 +3,12 @@
 #   make test         tier-1 unit/integration tests (fast, ~20 s)
 #   make bench-smoke  the two CI benchmark smokes (fig4 + multi-user scaling)
 #   make bench        every benchmark (regenerates all paper figures, slow)
+#   make bench-perf   time the hot paths and write BENCH_perf.json
 #   make check        what CI runs on every push
 
 PY ?= python
 
-.PHONY: test bench bench-smoke check
+.PHONY: test bench bench-smoke bench-perf check
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q tests/
@@ -17,5 +18,10 @@ bench-smoke:
 
 bench:
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/
+
+# Gate against a same-machine reference with:
+#   make bench-perf PERF_ARGS="--baseline BENCH_perf.json"
+bench-perf:
+	PYTHONPATH=src $(PY) -m repro bench --scale quick --output BENCH_perf.json $(PERF_ARGS)
 
 check: test bench-smoke

@@ -5,6 +5,8 @@ Commands:
 * ``run`` — one query session with chosen mode/seed/duration; prints the
   per-period summary and an ASCII fidelity strip.
 * ``fig`` — regenerate one of the paper's figures (4-8) as a table.
+* ``bench`` — time the hot-path scenarios, write ``BENCH_perf.json``, and
+  optionally gate against a same-machine baseline report.
 * ``analysis`` — print the Section 5 closed-form tables (paper vs ours).
 * ``topology`` — render the sensor field, backbone and user path.
 """
@@ -76,6 +78,34 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("fig", help="regenerate a paper figure")
     fig_p.add_argument("number", type=int, choices=[4, 5, 6, 7, 8])
     fig_p.add_argument("--scale", choices=["quick", "paper"], default="quick")
+
+    bench_p = sub.add_parser(
+        "bench", help="time the hot-path scenarios and write BENCH_perf.json"
+    )
+    bench_p.add_argument("--scale", choices=["quick", "paper"], default="quick")
+    bench_p.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="runs per scenario; the fastest is reported (default 3)",
+    )
+    bench_p.add_argument(
+        "--output",
+        default="BENCH_perf.json",
+        help="where to write the perf report (default BENCH_perf.json)",
+    )
+    bench_p.add_argument(
+        "--baseline",
+        default=None,
+        help="reference BENCH_perf.json from the same machine; exit non-zero "
+        "on a >threshold events/sec regression",
+    )
+    bench_p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional events/sec regression vs --baseline (default 0.20)",
+    )
 
     sub.add_parser("analysis", help="Section 5 closed-form tables")
 
@@ -177,6 +207,49 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments.perf import (
+        check_regressions,
+        fingerprint_mismatches,
+        format_perf_report,
+        load_report,
+        run_perf_suite,
+        write_report,
+    )
+
+    if args.repeats < 1:
+        print("repro bench: error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    baseline_report = None
+    if args.baseline:
+        # Load (and validate) the reference before the multi-second suite
+        # runs, so a typo'd path fails fast with a clean message.
+        try:
+            baseline_report = load_report(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro bench: error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+    report = run_perf_suite(scale=args.scale, repeats=args.repeats)
+    write_report(report, args.output)
+    print(format_perf_report(report))
+    print(f"\nreport written to {args.output}")
+    failures = fingerprint_mismatches(report)
+    if failures:
+        for failure in failures:
+            print(f"repro bench: DETERMINISM MISMATCH: {failure}", file=sys.stderr)
+        return 3
+    if baseline_report is not None:
+        regressions = check_regressions(
+            report, baseline_report, threshold=args.threshold
+        )
+        if regressions:
+            for regression in regressions:
+                print(f"repro bench: PERF REGRESSION: {regression}", file=sys.stderr)
+            return 3
+        print(f"no regressions vs {args.baseline} (threshold {args.threshold:.0%})")
+    return 0
+
+
 def _cmd_analysis() -> int:
     print(format_table(
         "Section 5.2 — storage cost",
@@ -233,6 +306,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "fig":
         return _cmd_fig(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "analysis":
         return _cmd_analysis()
     if args.command == "topology":

@@ -38,7 +38,7 @@ from .config import (
     paper_section62_config,
     paper_section63_config,
 )
-from .runner import mean_success_ratio, run_experiment
+from .runner import mean_success_ratio, run_experiment, run_replications_parallel
 
 SCALE_PAPER = "paper"
 SCALE_QUICK = "quick"
@@ -85,18 +85,16 @@ def run_fig4(scale: Optional[str] = None) -> List[Fig4Row]:
     for mode in (MODE_JIT, MODE_GREEDY, MODE_NP):
         for sleep_period in sleep_periods:
             for speed_range in speeds:
-                results = [
-                    run_experiment(
-                        paper_section62_config(
-                            mode=mode,
-                            sleep_period_s=sleep_period,
-                            speed_range=speed_range,
-                            seed=seed,
-                            duration_s=duration,
-                        )
-                    )
-                    for seed in seeds
-                ]
+                results = run_replications_parallel(
+                    paper_section62_config(
+                        mode=mode,
+                        sleep_period_s=sleep_period,
+                        speed_range=speed_range,
+                        seed=seeds[0],
+                        duration_s=duration,
+                    ),
+                    seeds,
+                )
                 rows.append(
                     Fig4Row(
                         mode=mode,
@@ -171,18 +169,16 @@ def run_fig6(scale: Optional[str] = None) -> List[Fig6Row]:
     rows = []
     for sleep_period in sleep_periods:
         for ta in advance_times:
-            results = [
-                run_experiment(
-                    paper_section63_config(
-                        sleep_period_s=sleep_period,
-                        change_interval_s=70.0,
-                        advance_time_s=ta,
-                        seed=seed,
-                        duration_s=duration,
-                    )
-                )
-                for seed in seeds
-            ]
+            results = run_replications_parallel(
+                paper_section63_config(
+                    sleep_period_s=sleep_period,
+                    change_interval_s=70.0,
+                    advance_time_s=ta,
+                    seed=seeds[0],
+                    duration_s=duration,
+                ),
+                seeds,
+            )
             rows.append(
                 Fig6Row(
                     sleep_period_s=sleep_period,
@@ -228,18 +224,16 @@ def run_fig7(scale: Optional[str] = None) -> List[Fig7Row]:
     rows = []
     for curve_name, kwargs in curves:
         for interval in intervals:
-            results = [
-                run_experiment(
-                    paper_section63_config(
-                        sleep_period_s=9.0,
-                        change_interval_s=interval,
-                        seed=seed,
-                        duration_s=duration,
-                        **kwargs,
-                    )
-                )
-                for seed in seeds
-            ]
+            results = run_replications_parallel(
+                paper_section63_config(
+                    sleep_period_s=9.0,
+                    change_interval_s=interval,
+                    seed=seeds[0],
+                    duration_s=duration,
+                    **kwargs,
+                ),
+                seeds,
+            )
             rows.append(
                 Fig7Row(
                     curve=curve_name,

@@ -76,6 +76,8 @@ class RunResult:
     frames_sent: int
     frames_collided: int
     events_executed: int
+    #: frames handed to a receiver MAC (channel-level delivery counter)
+    frames_delivered: int = 0
     #: per-user scored sessions (one entry for single-user runs, empty for idle)
     sessions: List[SessionResult] = field(default_factory=list)
 
@@ -205,6 +207,7 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         frames_sent=network.channel.frames_sent,
         frames_collided=network.channel.frames_collided,
         events_executed=sim.events_executed,
+        frames_delivered=network.channel.frames_delivered,
         sessions=sessions,
     )
 
@@ -212,6 +215,47 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
 def run_replications(config: ExperimentConfig, seeds: List[int]) -> List[RunResult]:
     """Run the same config across several topologies/motions (paper: 3–5)."""
     return [run_experiment(config.with_seed(seed)) for seed in seeds]
+
+
+def run_replications_parallel(
+    config: ExperimentConfig,
+    seeds: List[int],
+    max_workers: Optional[int] = None,
+) -> List[RunResult]:
+    """``run_replications`` across OS processes, one seed per task.
+
+    Results are returned in seed order and are identical (per seed) to the
+    serial path: each worker runs ``run_experiment`` on its own kernel and
+    RNG streams, so parallelism cannot perturb a replication.  Falls back
+    to the serial path for a single seed, for ``max_workers=1``, and when
+    process pools are unavailable (restricted sandboxes).
+    """
+    if len(seeds) <= 1:
+        return run_replications(config, seeds)
+    import concurrent.futures
+    import multiprocessing
+    import os
+
+    workers = max_workers or min(len(seeds), os.cpu_count() or 1)
+    if workers <= 1:
+        # One CPU (or caller-limited): a process pool only adds overhead.
+        return run_replications(config, seeds)
+    # fork keeps startup cheap and inherits the imported model code; fall
+    # back to the platform default (spawn) where fork is unavailable.
+    mp_context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        mp_context = multiprocessing.get_context("fork")
+    configs = [config.with_seed(seed) for seed in seeds]
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp_context
+        ) as pool:
+            return list(pool.map(run_experiment, configs))
+    except (OSError, PermissionError, concurrent.futures.BrokenExecutor):
+        # No process support (seccomp'd CI, restricted container) or the
+        # workers were killed (BrokenProcessPool): degrade gracefully to
+        # the serial path rather than fail the experiment.
+        return run_replications(config, seeds)
 
 
 def mean_success_ratio(results: List[RunResult]) -> float:

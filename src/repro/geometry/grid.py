@@ -106,8 +106,35 @@ class SpatialGrid(Generic[T]):
     def query_disk_excluding(
         self, center: Vec2, radius: float, excluded: T
     ) -> List[T]:
-        """Disk query that drops one item (typically the querying node)."""
-        return [it for it in self.query_disk(center, radius) if it != excluded]
+        """Disk query that drops one item (typically the querying node).
+
+        The excluded item is skipped while collecting, not filtered from a
+        fully built candidate list afterwards (this runs once per node at
+        network construction over every node's neighbourhood).
+        """
+        if radius < 0:
+            return []
+        r_sq = radius * radius
+        cs = self.cell_size
+        cx_min = int((center.x - radius) // cs)
+        cx_max = int((center.x + radius) // cs)
+        cy_min = int((center.y - radius) // cs)
+        cy_max = int((center.y + radius) // cs)
+        found: List[T] = []
+        cells = self._cells
+        for cx in range(cx_min, cx_max + 1):
+            for cy in range(cy_min, cy_max + 1):
+                bucket = cells.get((cx, cy))
+                if not bucket:
+                    continue
+                for position, item in bucket:
+                    if item == excluded:
+                        continue
+                    dx = position.x - center.x
+                    dy = position.y - center.y
+                    if dx * dx + dy * dy <= r_sq + 1e-9:
+                        found.append(item)
+        return found
 
     def nearest(self, center: Vec2) -> T:
         """The registered item closest to ``center``.

@@ -15,9 +15,13 @@ from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Vec2:
-    """An immutable 2-D vector/point with float components."""
+    """An immutable 2-D vector/point with float components.
+
+    ``slots=True`` matters: Vec2 is allocated and read constantly on the
+    channel/mobility hot paths, and slot access skips the per-instance dict.
+    """
 
     x: float
     y: float

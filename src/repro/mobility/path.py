@@ -16,7 +16,7 @@ from typing import List, Sequence, Tuple
 from ..geometry.vec import Vec2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Waypoint:
     """A position pinned to a time."""
 
@@ -35,6 +35,14 @@ class PiecewisePath:
             raise ValueError("waypoint times must be strictly increasing")
         self.waypoints: List[Waypoint] = list(waypoints)
         self._times = times
+        # Memo of the segment the last query fell in: queries arrive in
+        # near-monotonic simulated-time order, so the same segment answers
+        # long runs of calls without a bisect.  The (time, position) memo
+        # answers repeated queries at one instant (carrier sense followed by
+        # a transmission in the same event) with no arithmetic at all.
+        self._last_idx = 0
+        self._memo_t = float("nan")
+        self._memo_pos = self.waypoints[0].position
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -92,15 +100,28 @@ class PiecewisePath:
 
     def position_at(self, t: float) -> Vec2:
         """Position at time ``t``; clamped before the start / after the end."""
+        if t == self._memo_t:
+            return self._memo_pos
         wps = self.waypoints
         if t <= wps[0].time:
             return wps[0].position
         if t >= wps[-1].time:
             return wps[-1].position
-        idx = bisect.bisect_right(self._times, t) - 1
+        times = self._times
+        idx = self._last_idx
+        if not times[idx] <= t < times[idx + 1]:
+            idx = bisect.bisect_right(times, t) - 1
+            self._last_idx = idx
         a, b = wps[idx], wps[idx + 1]
         frac = (t - a.time) / (b.time - a.time)
-        return a.position.lerp(b.position, frac)
+        pa = a.position
+        pb = b.position
+        pax = pa.x
+        pay = pa.y
+        pos = Vec2(pax + (pb.x - pax) * frac, pay + (pb.y - pay) * frac)
+        self._memo_t = t
+        self._memo_pos = pos
+        return pos
 
     def velocity_at(self, t: float) -> Vec2:
         """Velocity at time ``t`` (zero outside the span; left-continuous

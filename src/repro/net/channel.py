@@ -18,16 +18,27 @@ The channel is the broker between transmitting radios and listening ones:
 Static sensor nodes are indexed in a spatial grid once; mobile endpoints
 (the user's proxy) are tracked separately and evaluated against positions at
 transmission start.
+
+Hot-path layout: node positions are fixed at t=0, so each static node's
+in-range listener set is computed once (lazily, in grid-query order so
+reception ordering — and therefore every downstream event sequence — is
+bit-identical to querying the grid per transmission) and reused for every
+``transmit``.  Carrier sense is answered from per-node busy bookkeeping
+(an in-range-transmission counter plus latest end time per static node,
+updated on transmission start/finish) instead of scanning all active
+transmissions per query; the mobile proxy, whose position changes between
+sense calls, is the one case that still scans the (short) active list.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Tuple
 
 from ..geometry.grid import SpatialGrid
 from ..geometry.vec import Vec2
 from ..sim.kernel import Simulator
 from ..sim.trace import Tracer
+from .energy import RadioState
 from .packet import Frame
 from .radio import Radio
 
@@ -68,7 +79,7 @@ class Reception:
 class _ActiveTransmission:
     """Bookkeeping for one transmission while it is on the air."""
 
-    __slots__ = ("frame", "sender_id", "position", "end_time", "receptions")
+    __slots__ = ("frame", "sender_id", "position", "end_time", "receptions", "covered")
 
     def __init__(
         self,
@@ -77,12 +88,16 @@ class _ActiveTransmission:
         position: Vec2,
         end_time: float,
         receptions: List[Reception],
+        covered: Tuple[int, ...] = (),
     ) -> None:
         self.frame = frame
         self.sender_id = sender_id
         self.position = position
         self.end_time = end_time
         self.receptions = receptions
+        #: static node ids (excluding the sender) whose busy counters this
+        #: transmission incremented; decremented again on finish
+        self.covered = covered
 
 
 class Channel:
@@ -117,6 +132,16 @@ class Channel:
         self._static: Dict[int, ChannelEndpoint] = {}
         self._mobile: Dict[int, ChannelEndpoint] = {}
         self._active: List[_ActiveTransmission] = []
+        #: per static node: (listener endpoints, their ids), grid-query order
+        self._neighbor_cache: Dict[int, Tuple[Tuple[ChannelEndpoint, ...], Tuple[int, ...]]] = {}
+        # Per static node (indexed by id): number of in-flight transmissions
+        # from *other* senders covering it, and the latest end time among
+        # every such transmission seen so far.  While the count is positive
+        # the latest value equals the in-flight maximum (a finished
+        # transmission can only hold the maximum once nothing outlasts it),
+        # so carrier sense never scans the active list for static nodes.
+        self._busy_count: List[int] = []
+        self._busy_latest: List[float] = []
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_collided = 0
@@ -128,8 +153,28 @@ class Channel:
         """Register a fixed-position endpoint (sensor node)."""
         if endpoint.node_id in self._static or endpoint.node_id in self._mobile:
             raise ValueError(f"endpoint {endpoint.node_id} already registered")
-        self._static[endpoint.node_id] = endpoint
-        self._grid.insert(endpoint.node_id, endpoint.position_at(0.0))
+        node_id = endpoint.node_id
+        position = endpoint.position_at(0.0)
+        self._static[node_id] = endpoint
+        self._grid.insert(node_id, position)
+        # New static nodes change neighbourhoods; caches rebuild lazily.
+        self._neighbor_cache.clear()
+        if node_id >= len(self._busy_count):
+            grow = node_id + 1 - len(self._busy_count)
+            self._busy_count.extend([0] * grow)
+            self._busy_latest.extend([0.0] * grow)
+        # Seed the new node's busy bookkeeping from transmissions already on
+        # the air (registration mid-run is rare but supported): in-flight
+        # records computed their covered sets before this node existed.
+        r_sq_eps = self.comm_range * self.comm_range + 1e-9
+        for tx in self._active:
+            if tx.sender_id == node_id:
+                continue
+            if tx.position.distance_sq_to(position) <= r_sq_eps:
+                tx.covered += (node_id,)
+                self._busy_count[node_id] += 1
+                if tx.end_time > self._busy_latest[node_id]:
+                    self._busy_latest[node_id] = tx.end_time
 
     def register_mobile(self, endpoint: ChannelEndpoint) -> None:
         """Register a moving endpoint (the user's proxy)."""
@@ -158,6 +203,33 @@ class Channel:
             <= self.comm_range * self.comm_range + 1e-9
         )
 
+    def static_listeners(self, node_id: int) -> Tuple[ChannelEndpoint, ...]:
+        """Static endpoints within range of static node ``node_id`` (cached).
+
+        Excludes the node itself (a radio never receives its own frame);
+        the others are ordered exactly as a fresh grid disk query would
+        return them, so callers iterating the cache observe the same
+        endpoint sequence (and schedule the same downstream events) as the
+        uncached path.  Positions are fixed at t=0, so the tuple is computed
+        once per node and reused for every transmission.
+        """
+        return self._static_cache(node_id)[0]
+
+    def _static_cache(
+        self, node_id: int
+    ) -> Tuple[Tuple[ChannelEndpoint, ...], Tuple[int, ...]]:
+        cached = self._neighbor_cache.get(node_id)
+        if cached is None:
+            position = self._static[node_id].position_at(0.0)
+            ids = self._grid.query_disk(position, self.comm_range)
+            static = self._static
+            cached = (
+                tuple(static[i] for i in ids if i != node_id),
+                tuple(i for i in ids if i != node_id),
+            )
+            self._neighbor_cache[node_id] = cached
+        return cached
+
     def listeners_near(self, position: Vec2, time: float) -> List[ChannelEndpoint]:
         """All endpoints within range of ``position`` at ``time`` (any state)."""
         ids = self._grid.query_disk(position, self.comm_range)
@@ -176,26 +248,41 @@ class Channel:
         """
         if endpoint.radio.is_sleeping:
             return False
-        now = self.sim.now
-        pos = endpoint.position_at(now)
-        r_sq = self.comm_range * self.comm_range
+        node_id = endpoint.node_id
+        if self._static.get(node_id) is endpoint:
+            return self._busy_count[node_id] > 0
+        # Mobile proxy: position changes between sense calls, scan in flight.
+        pos = endpoint.position_at(self.sim.now)
+        px, py = pos.x, pos.y
+        r_sq_eps = self.comm_range * self.comm_range + 1e-9
         for tx in self._active:
-            if tx.sender_id == endpoint.node_id:
+            if tx.sender_id == node_id:
                 continue
-            if tx.position.distance_sq_to(pos) <= r_sq + 1e-9:
+            tpos = tx.position
+            dx = tpos.x - px
+            dy = tpos.y - py
+            if dx * dx + dy * dy <= r_sq_eps:
                 return True
         return False
 
     def busy_until(self, endpoint: ChannelEndpoint) -> Optional[float]:
         """Latest end time among in-range in-flight transmissions, if any."""
-        now = self.sim.now
-        pos = endpoint.position_at(now)
-        r_sq = self.comm_range * self.comm_range
+        node_id = endpoint.node_id
+        if self._static.get(node_id) is endpoint:
+            if self._busy_count[node_id] == 0:
+                return None
+            return self._busy_latest[node_id]
+        pos = endpoint.position_at(self.sim.now)
+        px, py = pos.x, pos.y
+        r_sq_eps = self.comm_range * self.comm_range + 1e-9
         latest: Optional[float] = None
         for tx in self._active:
-            if tx.sender_id == endpoint.node_id:
+            if tx.sender_id == node_id:
                 continue
-            if tx.position.distance_sq_to(pos) <= r_sq + 1e-9:
+            tpos = tx.position
+            dx = tpos.x - px
+            dy = tpos.y - py
+            if dx * dx + dy * dy <= r_sq_eps:
                 if latest is None or tx.end_time > latest:
                     latest = tx.end_time
         return latest
@@ -212,52 +299,148 @@ class Channel:
         """
         now = self.sim.now
         duration = self.airtime(frame)
+        sender_id = sender.node_id
         position = sender.position_at(now)
         sender.radio.set_state_tx_guarded()
+        # Static listeners come from the per-node cache when the sender is a
+        # registered static node (no per-transmit grid query or list build,
+        # and the sender is already excluded); a mobile sender's footprint
+        # is evaluated at its current position.
+        if self._static.get(sender_id) is sender:
+            static_listeners, covered = self._static_cache(sender_id)
+        else:
+            ids = self._grid.query_disk(position, self.comm_range)
+            static = self._static
+            static_listeners = tuple(static[i] for i in ids if i != sender_id)
+            covered = tuple(i for i in ids if i != sender_id)
         receptions: List[Reception] = []
-        for listener in self.listeners_near(position, now):
-            if listener.node_id == sender.node_id:
-                continue
-            if not listener.radio.is_listening:
+        append = receptions.append
+        # Radio.begin_reception and the IDLE->RX energy transition are
+        # inlined in both loops below (overlap corruption + state change) —
+        # one reception starts per listening neighbour per transmission,
+        # the hottest inner loop in the model.
+        rx_state = RadioState.RX
+        idle_state = RadioState.IDLE
+        for listener in static_listeners:
+            radio = listener.radio
+            if not radio.listening:
                 continue
             reception = Reception(frame, listener)
-            listener.radio.begin_reception(reception)
-            receptions.append(reception)
-        record = _ActiveTransmission(frame, sender.node_id, position, now + duration, receptions)
+            active = radio.active_receptions
+            if active:
+                reception.corrupted = True
+                reception.reason = "overlap"
+                for other in active:
+                    if not other.corrupted:
+                        other.corrupted = True
+                        other.reason = "overlap"
+            active.append(reception)
+            if radio._state is idle_state:
+                radio._state = rx_state
+                energy = radio.energy
+                elapsed = now - energy._state_since
+                if elapsed > 0:
+                    energy._joules += elapsed * energy._state_w
+                    energy._idle_s += elapsed
+                    energy._state_since = now
+                energy._state = rx_state
+                energy._state_w = energy.model.rx_w
+            append(reception)
+        px, py = position.x, position.y
+        r_sq_eps = self.comm_range * self.comm_range + 1e-9
+        for listener in self._mobile.values():
+            if listener.node_id == sender_id:
+                continue
+            lpos = listener.position_at(now)
+            dx = lpos.x - px
+            dy = lpos.y - py
+            if dx * dx + dy * dy > r_sq_eps:
+                continue
+            radio = listener.radio
+            if not radio.listening:
+                continue
+            # Mobile listeners are few (one proxy per user), so the plain
+            # begin_reception call is fine here.
+            reception = Reception(frame, listener)
+            radio.begin_reception(reception)
+            append(reception)
+        end_time = now + duration
+        record = _ActiveTransmission(frame, sender_id, position, end_time, receptions, covered)
         self._active.append(record)
+        busy_count = self._busy_count
+        busy_latest = self._busy_latest
+        for node_id in covered:
+            busy_count[node_id] += 1
+            if end_time > busy_latest[node_id]:
+                busy_latest[node_id] = end_time
         self.frames_sent += 1
-        if self.tracer is not None:
-            self.tracer.emit("tx", now, frame=frame.seq, frame_kind=frame.kind, src=frame.src)
-        self.sim.schedule(duration, self._finish_transmission, sender, record)
+        tracer = self.tracer
+        if tracer is not None:
+            if tracer.wants("tx"):
+                tracer.emit("tx", now, frame=frame.seq, frame_kind=frame.kind, src=frame.src)
+            else:
+                tracer.tick("tx")
+        self.sim.schedule_fast(duration, self._finish_transmission, sender, record)
         return duration
 
     def _finish_transmission(
         self, sender: ChannelEndpoint, record: _ActiveTransmission
     ) -> None:
         self._active.remove(record)
+        busy_count = self._busy_count
+        for node_id in record.covered:
+            busy_count[node_id] -= 1
         sender.radio.end_transmission()
         now = self.sim.now
+        tracer = self.tracer
+        frame = record.frame
+        rx_state = RadioState.RX
+        idle_state = RadioState.IDLE
         for reception in record.receptions:
-            reception.receiver.radio.end_reception(reception)
+            receiver = reception.receiver
+            # Radio.end_reception and the RX->IDLE energy transition are
+            # inlined (see transmit for the begin side).
+            radio = receiver.radio
+            active = radio.active_receptions
+            try:
+                active.remove(reception)
+            except ValueError:
+                pass
+            if not active and radio._state is rx_state:
+                radio._state = idle_state
+                energy = radio.energy
+                elapsed = now - energy._state_since
+                if elapsed > 0:
+                    energy._joules += elapsed * energy._state_w
+                    energy._rx_s += elapsed
+                    energy._state_since = now
+                energy._state = idle_state
+                energy._state_w = energy.model.idle_w
             if reception.corrupted:
                 self.frames_collided += 1
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        "collision",
-                        now,
-                        frame=record.frame.seq,
-                        frame_kind=record.frame.kind,
-                        at=reception.receiver.node_id,
-                        reason=reception.reason,
-                    )
+                if tracer is not None:
+                    if tracer.wants("collision"):
+                        tracer.emit(
+                            "collision",
+                            now,
+                            frame=frame.seq,
+                            frame_kind=frame.kind,
+                            at=receiver.node_id,
+                            reason=reception.reason,
+                        )
+                    else:
+                        tracer.tick("collision")
                 continue
             self.frames_delivered += 1
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "rx",
-                    now,
-                    frame=record.frame.seq,
-                    frame_kind=record.frame.kind,
-                    at=reception.receiver.node_id,
-                )
-            reception.receiver.deliver_frame(record.frame)
+            if tracer is not None:
+                if tracer.wants("rx"):
+                    tracer.emit(
+                        "rx",
+                        now,
+                        frame=frame.seq,
+                        frame_kind=frame.kind,
+                        at=receiver.node_id,
+                    )
+                else:
+                    tracer.tick("rx")
+            receiver.deliver_frame(frame)

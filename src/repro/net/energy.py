@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict
 
 from ..sim.kernel import Simulator
 
@@ -50,28 +49,81 @@ PAPER_POWER_MODEL = PowerModel()
 
 
 class EnergyMeter:
-    """Integrates radio power draw over simulated time for one node."""
+    """Integrates radio power draw over simulated time for one node.
+
+    State changes fire on every radio transition — roughly twice per
+    reception — so the meter keeps the current state's draw as a scalar and
+    accumulates per-state seconds in four plain floats (no enum hashing or
+    dict lookup on the hot path).
+    """
+
+    __slots__ = (
+        "sim", "model", "_state", "_state_w", "_state_since", "_joules",
+        "_tx_s", "_rx_s", "_idle_s", "_sleep_s",
+    )
 
     def __init__(self, sim: Simulator, model: PowerModel = PAPER_POWER_MODEL) -> None:
         self.sim = sim
         self.model = model
         self._state = RadioState.IDLE
+        self._state_w = model.watts(RadioState.IDLE)
         self._state_since = sim.now
         self._joules = 0.0
-        self._state_seconds: Dict[RadioState, float] = {s: 0.0 for s in RadioState}
+        self._tx_s = 0.0
+        self._rx_s = 0.0
+        self._idle_s = 0.0
+        self._sleep_s = 0.0
 
     def on_state_change(self, new_state: RadioState) -> None:
-        """Close the current state interval and open a new one."""
-        self._settle()
+        """Close the current state interval and open a new one.
+
+        NOTE: :meth:`repro.net.radio.Radio.set_state` inlines this exact
+        logic on its hot path — keep the two in sync.
+        """
+        # _settle and the watts lookup are inlined: this fires on every
+        # radio transition and the two extra calls are measurable.
+        now = self.sim.now
+        elapsed = now - self._state_since
+        if elapsed > 0:
+            self._joules += elapsed * self._state_w
+            state = self._state
+            if state is RadioState.IDLE:
+                self._idle_s += elapsed
+            elif state is RadioState.SLEEP:
+                self._sleep_s += elapsed
+            elif state is RadioState.RX:
+                self._rx_s += elapsed
+            else:
+                self._tx_s += elapsed
+            self._state_since = now
         self._state = new_state
+        model = self.model
+        if new_state is RadioState.IDLE:
+            self._state_w = model.idle_w
+        elif new_state is RadioState.SLEEP:
+            self._state_w = model.sleep_w
+        elif new_state is RadioState.RX:
+            self._state_w = model.rx_w
+        else:
+            self._state_w = model.tx_w
 
     def _settle(self) -> None:
         now = self.sim.now
         elapsed = now - self._state_since
         if elapsed > 0:
-            self._joules += elapsed * self.model.watts(self._state)
-            self._state_seconds[self._state] += elapsed
-        self._state_since = now
+            self._joules += elapsed * self._state_w
+            state = self._state
+            if state is RadioState.IDLE:
+                self._idle_s += elapsed
+            elif state is RadioState.SLEEP:
+                self._sleep_s += elapsed
+            elif state is RadioState.RX:
+                self._rx_s += elapsed
+            else:
+                self._tx_s += elapsed
+            self._state_since = now
+        elif elapsed != 0.0:  # pragma: no cover - clock never runs backwards
+            self._state_since = now
 
     # ------------------------------------------------------------------
     # Readouts
@@ -84,12 +136,18 @@ class EnergyMeter:
     def seconds_in(self, state: RadioState) -> float:
         """Cumulative seconds spent in ``state``."""
         self._settle()
-        return self._state_seconds[state]
+        if state is RadioState.TX:
+            return self._tx_s
+        if state is RadioState.RX:
+            return self._rx_s
+        if state is RadioState.IDLE:
+            return self._idle_s
+        return self._sleep_s
 
     def average_power_w(self) -> float:
         """Mean draw in watts from the meter's creation through now."""
         self._settle()
-        total_time = sum(self._state_seconds.values())
+        total_time = self._tx_s + self._rx_s + self._idle_s + self._sleep_s
         if total_time <= 0:
-            return self.model.watts(self._state)
+            return self._state_w
         return self._joules / total_time

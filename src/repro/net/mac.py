@@ -29,7 +29,7 @@ import numpy as np
 from ..sim.kernel import EventHandle, Simulator
 from ..sim.trace import Tracer
 from .channel import Channel, ChannelEndpoint
-from .packet import ACK_SIZE_BYTES, Frame
+from .packet import ACK_SIZE_BYTES, BROADCAST, Frame
 
 #: Callback fired when a frame's MAC-level fate is known.
 SendCallback = Callable[[bool], None]
@@ -126,7 +126,7 @@ class MacLayer:
             busy_until = self.channel.busy_until(self.endpoint)
             if busy_until is not None:
                 delay += max(0.0, busy_until - self.sim.now)
-        self.sim.schedule(delay, self._attempt_transmit)
+        self.sim.schedule_fast(delay, self._attempt_transmit)
 
     def _attempt_transmit(self) -> None:
         assert self._current is not None
@@ -142,7 +142,7 @@ class MacLayer:
         frame, _ = self._current
         airtime = self.channel.transmit(self.endpoint, frame)
         if frame.is_broadcast:
-            self.sim.schedule(airtime, self._finish_current, True)
+            self.sim.schedule_fast(airtime, self._finish_current, True)
         else:
             ack_wait = (
                 airtime
@@ -199,25 +199,26 @@ class MacLayer:
     # ------------------------------------------------------------------
     def on_frame(self, frame: Frame) -> None:
         """Channel delivery: filter, ACK, dedupe, dispatch upward."""
+        dst = frame.dst
         if frame.kind == "mac-ack":
-            if frame.dst == self.endpoint.node_id and frame.payload == self._awaited_ack_seq:
+            if dst == self.endpoint.node_id and frame.payload == self._awaited_ack_seq:
                 if self._ack_timer is not None:
                     self._ack_timer.cancel()
                     self._ack_timer = None
                 self._finish_current(True)
             return
-        if not frame.is_broadcast and frame.dst != self.endpoint.node_id:
-            return
-        if not frame.is_broadcast:
+        if dst != BROADCAST:
+            if dst != self.endpoint.node_id:
+                return
             # ACK even duplicates: the sender may have missed our first ACK.
-            self.sim.schedule(self.config.sifs_s, self._send_ack, frame)
+            self.sim.schedule_fast(self.config.sifs_s, self._send_ack, frame)
         key = (frame.src, frame.seq)
         if key in self._seen_set:
             return
-        if len(self._seen) == self._seen.maxlen:
-            oldest = self._seen[0]
-            self._seen_set.discard(oldest)
-        self._seen.append(key)
+        seen = self._seen
+        if len(seen) == seen.maxlen:
+            self._seen_set.discard(seen[0])
+        seen.append(key)
         self._seen_set.add(key)
         if self.receive_callback is not None:
             self.receive_callback(frame)

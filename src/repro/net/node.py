@@ -62,6 +62,9 @@ class SensorNode:
         self.radio = Radio(sim, node_id, power_model or PowerModel())
         self.mac = MacLayer(self, sim, channel, rng, mac_config, tracer)
         self.mac.receive_callback = self._dispatch
+        # Bind channel delivery straight to the MAC: one call per reception
+        # instead of two (the class method below documents the contract).
+        self.deliver_frame = self.mac.on_frame  # type: ignore[method-assign]
         self.role = ROLE_ACTIVE
         self.sleep_scheduler: Optional[SleepScheduler] = None
         #: all nodes within communication range (set by the network builder)
@@ -140,7 +143,7 @@ class SensorNode:
             self.send(frame, callback)
             return
         stagger = float(self.rng.uniform(0.0, 2e-3))
-        self.sim.schedule_at(at + stagger, self.send, frame, callback)
+        self.sim.schedule_at_fast(at + stagger, self.send, frame, callback)
 
     # ------------------------------------------------------------------
     # Roles and sensing
@@ -187,9 +190,13 @@ class MobileEndpoint:
         self.rng = rng
         self.tracer = tracer
         self._position_fn = position_fn
+        # Bind the mobility model straight onto the instance: the channel
+        # queries every mobile's position once per transmission.
+        self.position_at = position_fn  # type: ignore[method-assign]
         self.radio = Radio(sim, node_id, power_model or PowerModel())
         self.mac = MacLayer(self, sim, channel, rng, mac_config, tracer)
         self.mac.receive_callback = self._dispatch
+        self.deliver_frame = self.mac.on_frame  # type: ignore[method-assign]
         self._handlers: Dict[str, Callable[["MobileEndpoint", Frame], None]] = {}
 
     def position_at(self, time: float) -> Vec2:

@@ -26,7 +26,7 @@ ACK_SIZE_BYTES = 14
 _frame_seq = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One link-layer frame.
 

@@ -110,10 +110,10 @@ class SleepScheduler:
         now = self.sim.now
         if self.is_scheduled_awake(now):
             self.radio.wake()
-            self.sim.schedule_at(self._current_window_end(now), self._maybe_sleep)
+            self.sim.schedule_at_fast(self._current_window_end(now), self._maybe_sleep)
         else:
             self.radio.sleep()
-        self.sim.schedule_at(self.next_window_start(now), self._on_wake_boundary)
+        self.sim.schedule_at_fast(self.next_window_start(now), self._on_wake_boundary)
 
     # ------------------------------------------------------------------
     # Schedule queries (usable by other nodes thanks to clock sync)
@@ -124,9 +124,20 @@ class SleepScheduler:
 
     def is_scheduled_awake(self, t: float) -> bool:
         """Whether the schedule has the node awake at time ``t``."""
-        if self.config.in_window(t):
+        # config.in_window inlined: this runs on every wake boundary and
+        # sleep attempt for every sleeper.
+        cfg = self.config
+        interval = cfg.beacon_interval_s
+        eps = cfg._BOUNDARY_EPS
+        phase = (t - cfg.offset_s) % interval
+        if phase >= interval - eps:
+            phase = 0.0
+        if phase < cfg.active_window_s - eps:
             return True
-        return any(start - 1e-12 <= t < end - 1e-12 for start, end in self._overrides)
+        for start, end in self._overrides:
+            if start - 1e-12 <= t < end - 1e-12:
+                return True
+        return False
 
     def next_window_start(self, after: float) -> float:
         """Earliest scheduled wake boundary strictly relevant after ``after``.
@@ -136,9 +147,19 @@ class SleepScheduler:
         *future* boundary (delivery planners call this only when the target
         is asleep).
         """
-        candidates = [self.config.next_window_start(after)]
-        candidates.extend(start for start, _ in self._overrides if start > after)
-        return min(candidates)
+        # PsmConfig.next_window_start inlined (identical arithmetic): this
+        # chains every sleeper's beacon cycle, once per boundary event.
+        cfg = self.config
+        interval = cfg.beacon_interval_s
+        offset = cfg.offset_s
+        shifted = after - offset
+        best = (math.floor(shifted / interval) + 1) * interval + offset
+        if best <= after + cfg._BOUNDARY_EPS:
+            best += interval
+        for start, _end in self._overrides:
+            if after < start < best:
+                best = start
+        return best
 
     def earliest_listen_time(self, after: float) -> float:
         """Earliest time >= ``after`` when the node is scheduled to listen."""
@@ -163,27 +184,64 @@ class SleepScheduler:
         self._overrides.append((start, end))
         if start <= now:
             self.radio.wake()
-            self.sim.schedule_at(end, self._maybe_sleep)
+            self.sim.schedule_at_fast(end, self._maybe_sleep)
         else:
-            self.sim.schedule_at(start, self._on_wake_boundary)
+            self.sim.schedule_at_fast(start, self._on_wake_boundary)
         self._prune_overrides(now)
 
     def _prune_overrides(self, now: float) -> None:
-        self._overrides = [(s, e) for s, e in self._overrides if e > now]
+        overrides = self._overrides
+        if not overrides:
+            return
+        for _start, end in overrides:
+            if end <= now:
+                self._overrides = [(s, e) for s, e in overrides if e > now]
+                return
 
     # ------------------------------------------------------------------
     # Boundary events
     # ------------------------------------------------------------------
     def _on_wake_boundary(self) -> None:
+        # One boundary event fires per sleeper per beacon cycle plus one per
+        # override edge, so this is among the hottest callbacks in a run.
+        # The awake check and window end share a single phase computation
+        # (numerically identical to window_phase/in_window/_current_window_end).
         now = self.sim.now
-        self._prune_overrides(now)
-        if self.is_scheduled_awake(now):
+        overrides = self._overrides
+        if overrides:
+            self._prune_overrides(now)
+            overrides = self._overrides
+        cfg = self.config
+        interval = cfg.beacon_interval_s
+        eps = cfg._BOUNDARY_EPS
+        active = cfg.active_window_s
+        phase = (now - cfg.offset_s) % interval
+        if phase >= interval - eps:
+            phase = 0.0
+        awake = phase < active - eps
+        if not awake and overrides:
+            for start, end in overrides:
+                if start - 1e-12 <= now < end - 1e-12:
+                    awake = True
+                    break
+        if awake:
             self.radio.wake()
-            self.sim.schedule_at(self._current_window_end(now), self._maybe_sleep)
+            end = now - phase + active if phase < active else now
+            if overrides:
+                changed = True
+                while changed:
+                    changed = False
+                    for start, o_end in overrides:
+                        if start <= end + 1e-12 and o_end > end:
+                            end = o_end
+                            changed = True
+            if end < now:
+                end = now
+            self.sim.schedule_at_fast(end, self._maybe_sleep)
         # Chain the beacon cycle: always have the next wake queued.
         nxt = self.next_window_start(now)
         if nxt > now:
-            self.sim.schedule_at(nxt, self._on_wake_boundary)
+            self.sim.schedule_at_fast(nxt, self._on_wake_boundary)
 
     def _current_window_end(self, t: float) -> float:
         """End of the scheduled-awake stretch containing ``t``."""
@@ -192,25 +250,28 @@ class SleepScheduler:
             end = t - phase + self.config.active_window_s
         else:
             end = t
-        changed = True
-        while changed:
-            changed = False
-            for start, o_end in self._overrides:
-                if start <= end + 1e-12 and o_end > end:
-                    end = o_end
-                    changed = True
+        if self._overrides:
+            changed = True
+            while changed:
+                changed = False
+                for start, o_end in self._overrides:
+                    if start <= end + 1e-12 and o_end > end:
+                        end = o_end
+                        changed = True
         return max(end, t)
 
     def _maybe_sleep(self) -> None:
         now = self.sim.now
         if self.is_scheduled_awake(now):
             return  # an override extended the window; its own end event fires later
-        if not self.mac.is_idle or self.radio.is_transmitting or self.radio.active_receptions:
+        mac = self.mac
+        radio = self.radio
+        if mac._busy or mac._queue or radio.is_transmitting or radio.active_receptions:
             # Drain in-flight work before powering down; bounded in practice
             # because sleepers only ever queue a handful of frames.
-            self.sim.schedule(self._SLEEP_RETRY_S, self._maybe_sleep)
+            self.sim.schedule_fast(self._SLEEP_RETRY_S, self._maybe_sleep)
             return
-        self.radio.sleep()
+        radio.sleep()
 
 
 def delivery_time(scheduler: Optional[SleepScheduler], now: float) -> float:

@@ -34,6 +34,10 @@ class Radio:
         self.owner_id = owner_id
         self.energy = EnergyMeter(sim, power_model)
         self._state = initial_state
+        #: plain-attribute mirror of ``is_listening`` — the channel reads it
+        #: once per potential listener per transmission, where a property
+        #: call is measurable; maintained by ``set_state``.
+        self.listening = initial_state in (RadioState.IDLE, RadioState.RX)
         self.energy.on_state_change(initial_state)
         #: receptions currently in flight at this radio (managed by Channel)
         self.active_receptions: List["Reception"] = []
@@ -56,7 +60,7 @@ class Radio:
     @property
     def is_listening(self) -> bool:
         """Whether the radio could begin receiving a frame right now."""
-        return self._state in (RadioState.IDLE, RadioState.RX)
+        return self.listening
 
     def set_state(self, new_state: RadioState) -> None:
         """Transition the radio, corrupting in-flight receptions if needed.
@@ -67,11 +71,42 @@ class Radio:
         """
         if new_state is self._state:
             return
-        if new_state in (RadioState.TX, RadioState.SLEEP):
-            for reception in self.active_receptions:
-                reception.corrupt("receiver_left_listening")
+        if new_state is RadioState.TX or new_state is RadioState.SLEEP:
+            if self.active_receptions:
+                for reception in self.active_receptions:
+                    reception.corrupt("receiver_left_listening")
+            self.listening = False
+        else:
+            self.listening = True
         self._state = new_state
-        self.energy.on_state_change(new_state)
+        # Energy integration inlined (EnergyMeter.on_state_change semantics):
+        # radio transitions are the single most frequent state change in a
+        # run and the extra call per transition is measurable.
+        energy = self.energy
+        now = self.sim.now
+        elapsed = now - energy._state_since
+        if elapsed > 0:
+            energy._joules += elapsed * energy._state_w
+            state = energy._state
+            if state is RadioState.IDLE:
+                energy._idle_s += elapsed
+            elif state is RadioState.SLEEP:
+                energy._sleep_s += elapsed
+            elif state is RadioState.RX:
+                energy._rx_s += elapsed
+            else:
+                energy._tx_s += elapsed
+            energy._state_since = now
+        energy._state = new_state
+        model = energy.model
+        if new_state is RadioState.IDLE:
+            energy._state_w = model.idle_w
+        elif new_state is RadioState.SLEEP:
+            energy._state_w = model.sleep_w
+        elif new_state is RadioState.RX:
+            energy._state_w = model.rx_w
+        else:
+            energy._state_w = model.tx_w
 
     # ------------------------------------------------------------------
     # Channel integration
@@ -89,8 +124,10 @@ class Radio:
 
     def end_reception(self, reception: "Reception") -> None:
         """Channel callback: the frame's airtime elapsed."""
-        if reception in self.active_receptions:
+        try:
             self.active_receptions.remove(reception)
+        except ValueError:
+            pass
         if not self.active_receptions and self._state is RadioState.RX:
             self.set_state(RadioState.IDLE)
 

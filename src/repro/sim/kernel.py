@@ -14,13 +14,23 @@ played for the paper.  The kernel is a plain binary-heap event loop with:
 Protocol code that reads better as a coroutine uses :mod:`repro.sim.process`
 on top of this; hot paths (MAC timers, receptions) call ``schedule``
 directly.
+
+Hot-path layout: the heap stores ``(time, seq, handle)`` tuples so ordering
+is resolved by C-level tuple comparison instead of a Python ``__lt__`` call
+per heap swap (the single largest per-event cost in profiles).  ``seq`` is
+unique, so the handle itself is never compared.  Cancelled events stay in
+the heap until they surface, but a live counter keeps ``pending_count``
+O(1) and triggers an in-place compaction when cancellations dominate the
+queue, so cancel-heavy models (MAC ACK timers) never pay for re-sifting
+dead entries.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -30,34 +40,53 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """A scheduled callback.  ``cancel()`` prevents it from firing."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Cancel the event.  Cancelling twice or after firing is a no-op."""
+        was_queued = self.fn is not None and not self.cancelled
+        # Flip the flag before notifying the kernel: _note_cancelled may
+        # compact the heap and must see this handle as already cancelled.
         self.cancelled = True
         self.fn = None
         self.args = ()
+        if was_queued:
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled()
 
     @property
     def pending(self) -> bool:
         """Whether the event is still waiting to fire."""
         return not self.cancelled and self.fn is not None
 
-    def __lt__(self, other: "EventHandle") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
-
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "cancelled" if self.cancelled else "pending"
         return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+
+
+#: heap entry: ``(time, seq, handle)`` for cancellable events or
+#: ``(time, seq, None, fn, args)`` for fire-and-forget ones — compared as a
+#: tuple; ``seq`` is unique so the third element never takes part.
+_Entry = Tuple[Any, ...]
+
+#: compact the heap only when at least this many cancelled entries linger
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Simulator:
@@ -69,20 +98,16 @@ class Simulator:
     """
 
     def __init__(self, start_time: float = 0.0) -> None:
-        self._now = float(start_time)
-        self._queue: List[EventHandle] = []
-        self._seq = itertools.count()
+        #: current simulated time in seconds.  A plain attribute — reading
+        #: the clock is ubiquitous on hot paths and a property costs a
+        #: Python call per read.  Owned by the kernel; never assign to it.
+        self.now = float(start_time)
+        self._queue: List[_Entry] = []
+        self._seq = 0
+        self._cancelled = 0
         self._running = False
         self._stopped = False
         self.events_executed = 0
-
-    # ------------------------------------------------------------------
-    # Clock
-    # ------------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -95,7 +120,15 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
-        return self.schedule_at(self._now + delay, fn, *args)
+        # Fast path: the relative-delay form is the hot one (MAC timers,
+        # receptions); inline the push instead of dispatching through
+        # schedule_at so each event costs one call, not two.
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, fn, args, self)
+        heappush(self._queue, (time, seq, handle))
+        return handle
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute time ``time``.
@@ -103,17 +136,50 @@ class Simulator:
         Raises:
             SimulationError: if ``time`` precedes the current clock.
         """
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
+                f"cannot schedule at t={time:.6f} before now={self.now:.6f}"
             )
-        handle = EventHandle(time, next(self._seq), fn, args)
-        heapq.heappush(self._queue, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, fn, args, self)
+        heappush(self._queue, (time, seq, handle))
         return handle
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at the current time (after pending peers)."""
-        return self.schedule_at(self._now, fn, *args)
+        return self.schedule_at(self.now, fn, *args)
+
+    def schedule_fast(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget ``schedule``: no :class:`EventHandle` is created.
+
+        For hot internal timers that are never cancelled (MAC attempts, PSM
+        boundaries, transmission completions).  Ordering semantics are
+        identical to ``schedule``; the only difference is that the event
+        cannot be cancelled because nothing refers to it.
+
+        Raises:
+            SimulationError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (self.now + delay, seq, None, fn, args))
+
+    def schedule_at_fast(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget ``schedule_at`` (see :meth:`schedule_fast`).
+
+        Raises:
+            SimulationError: if ``time`` precedes the current clock.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} before now={self.now:.6f}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (time, seq, None, fn, args))
 
     # ------------------------------------------------------------------
     # Execution
@@ -121,17 +187,21 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is drained."""
         self._drop_cancelled()
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def step(self) -> bool:
         """Execute the single next event.  Returns False if none remained."""
         self._drop_cancelled()
         if not self._queue:
             return False
-        handle = heapq.heappop(self._queue)
-        self._now = handle.time
-        fn, args = handle.fn, handle.args
-        handle.fn, handle.args = None, ()
+        entry = heapq.heappop(self._queue)
+        self.now = entry[0]
+        handle = entry[2]
+        if handle is None:
+            fn, args = entry[3], entry[4]
+        else:
+            fn, args = handle.fn, handle.args
+            handle.fn, handle.args = None, ()
         self.events_executed += 1
         assert fn is not None
         fn(*args)
@@ -146,35 +216,63 @@ class Simulator:
 
         Args:
             until: absolute stop time; events at exactly ``until`` run.
-            max_events: safety valve for runaway models; raises
-                ``SimulationError`` when exceeded.
+            max_events: safety valve for runaway models; at most
+                ``max_events`` events execute, and ``SimulationError`` is
+                raised when a further event would run.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
-        if until is not None and until < self._now:
+        if until is not None and until < self.now:
             raise SimulationError(
-                f"run(until={until:.6f}) is before now={self._now:.6f}"
+                f"run(until={until:.6f}) is before now={self.now:.6f}"
             )
         self._running = True
         self._stopped = False
         executed = 0
+        # Event execution allocates heavily (frames, receptions, Vec2s) but
+        # the model creates no reference cycles; pausing the cyclic GC for
+        # the run avoids full-heap scans mid-simulation.  Restored below.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        # The queue list is only ever mutated in place (heappush/heappop and
+        # the in-place compaction), so holding one reference stays valid.
+        queue = self._queue
         try:
             while not self._stopped:
-                self._drop_cancelled()
-                if not self._queue:
+                # Inlined _drop_cancelled/step: one loop iteration per event
+                # with no extra method dispatch on the hot path.
+                if not queue:
                     break
-                if until is not None and self._queue[0].time > until:
+                entry = queue[0]
+                handle = entry[2]
+                if handle is not None and handle.cancelled:
+                    heappop(queue)
+                    self._cancelled -= 1
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
                     break
-                self.step()
-                executed += 1
-                if max_events is not None and executed > max_events:
+                if max_events is not None and executed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} (runaway model?)"
                     )
+                heappop(queue)
+                self.now = time
+                self.events_executed += 1
+                executed += 1
+                if handle is None:
+                    entry[3](*entry[4])
+                else:
+                    fn, args = handle.fn, handle.args
+                    handle.fn, handle.args = None, ()
+                    fn(*args)
         finally:
             self._running = False
-        if until is not None and not self._stopped and self._now < until:
-            self._now = until
+            if gc_was_enabled:
+                gc.enable()
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
 
     def stop(self) -> None:
         """Stop the current ``run()`` after the executing event returns."""
@@ -183,9 +281,30 @@ class Simulator:
     @property
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events in the queue."""
-        return sum(1 for h in self._queue if h.pending)
+        return len(self._queue) - self._cancelled
+
+    def _note_cancelled(self) -> None:
+        """A queued handle was cancelled; compact if the heap is mostly dead."""
+        self._cancelled += 1
+        queue = self._queue
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(queue)
+        ):
+            # In-place so aliases held by a running loop stay valid.
+            queue[:] = [
+                entry
+                for entry in queue
+                if entry[2] is None or not entry[2].cancelled
+            ]
+            heapq.heapify(queue)
+            self._cancelled = 0
 
     def _drop_cancelled(self) -> None:
         queue = self._queue
-        while queue and not queue[0].pending:
+        while queue:
+            handle = queue[0][2]
+            if handle is None or not handle.cancelled:
+                return
             heapq.heappop(queue)
+            self._cancelled -= 1

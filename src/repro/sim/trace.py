@@ -43,14 +43,33 @@ class Tracer:
         self._records: List[TraceRecord] = []
         self.counts: Counter = Counter()
         self._subscribers: Dict[str, List[Callable[[TraceRecord], None]]] = defaultdict(list)
+        #: kinds somebody retains or subscribes to (``wants``'s fast set);
+        #: kept in sync by ``keep_kind``/``subscribe``.
+        self._active_kinds = set(self._keep)
 
     def keep_kind(self, kind: str) -> None:
         """Start retaining records of ``kind``."""
         self._keep.add(kind)
+        self._active_kinds.add(kind)
 
     def subscribe(self, kind: str, callback: Callable[[TraceRecord], None]) -> None:
         """Invoke ``callback(record)`` for every emitted record of ``kind``."""
         self._subscribers[kind].append(callback)
+        self._active_kinds.add(kind)
+
+    def wants(self, kind: str) -> bool:
+        """Whether emitting ``kind`` does more than bump its counter.
+
+        Hot emitters (the channel's per-frame ``tx``/``rx``/``collision``)
+        check this before building the record's field set; when it is False
+        they call :meth:`tick` instead, which is observably identical to
+        ``emit`` for an unwatched kind.
+        """
+        return self.keep_all or kind in self._active_kinds
+
+    def tick(self, kind: str) -> None:
+        """Count an occurrence of ``kind`` without building a record."""
+        self.counts[kind] += 1
 
     def emit(self, kind: str, time: float, **fields: Any) -> None:
         """Emit a record.  Cheap when the kind is neither kept nor subscribed."""

@@ -89,3 +89,34 @@ class TestNearest:
     def test_nearest_far_query_point(self, grid):
         # query point far outside any populated cell: falls back gracefully
         assert grid.nearest(Vec2(500, 500)) == "c"
+
+
+class TestExcludingCollection:
+    """query_disk_excluding skips during collection — results must equal
+    filtering a full disk query, order included."""
+
+    def test_excluding_equals_filtered_full_query(self):
+        rng = np.random.default_rng(7)
+        grid: SpatialGrid[int] = SpatialGrid(cell_size=9.0)
+        for i in range(200):
+            grid.insert(i, Vec2(float(rng.uniform(0, 80)), float(rng.uniform(0, 80))))
+        for _ in range(20):
+            center = Vec2(float(rng.uniform(0, 80)), float(rng.uniform(0, 80)))
+            radius = float(rng.uniform(0, 30))
+            excluded = int(rng.integers(0, 200))
+            assert grid.query_disk_excluding(center, radius, excluded) == [
+                item
+                for item in grid.query_disk(center, radius)
+                if item != excluded
+            ]
+
+    def test_excluding_negative_radius(self):
+        grid: SpatialGrid[str] = SpatialGrid(cell_size=5.0)
+        grid.insert("a", Vec2(0, 0))
+        assert grid.query_disk_excluding(Vec2(0, 0), -2.0, "a") == []
+
+    def test_excluding_absent_item_is_noop(self):
+        grid: SpatialGrid[str] = SpatialGrid(cell_size=5.0)
+        grid.insert("a", Vec2(0, 0))
+        grid.insert("b", Vec2(1, 1))
+        assert set(grid.query_disk_excluding(Vec2(0, 0), 5.0, "zz")) == {"a", "b"}

@@ -1,0 +1,102 @@
+"""Golden determinism: the hot-path optimizations change speed, nothing else.
+
+The performance overhaul (cached static topology, per-node carrier-sense
+bookkeeping, kernel fast paths, inlined radio/energy transitions) is only
+admissible because simulation results are bit-identical to the
+pre-optimization code.  These tests pin the exact event counts, frame
+counters, and per-user success ratios of two canonical runs, captured on
+the commit *before* the overhaul landed; any optimization that perturbs
+event ordering, reception sets, or RNG consumption shows up here as a
+changed constant, not as silent statistical drift.
+
+If a deliberate *model* change (new protocol behaviour, different RNG
+layout) alters these numbers, re-pin them in the same commit and say so in
+the commit message — that is the one legitimate reason to touch them.
+"""
+
+import pytest
+
+from repro.experiments.config import MODE_JIT, ExperimentConfig, QueryParams
+from repro.experiments.runner import run_experiment, run_replications
+from repro.workload.arrivals import ARRIVAL_STAGGERED
+
+#: captured at quick scale (120 s, Rq=60 m, seed 1) pre-overhaul
+GOLDEN = {
+    "single_user": {
+        "events_executed": 24363,
+        "frames_sent": 1701,
+        "frames_delivered": 26903,
+        "frames_collided": 62,
+        "success_ratios": (0.9666666666666667,),
+    },
+    "four_user": {
+        "events_executed": 89806,
+        "frames_sent": 6124,
+        "frames_delivered": 102151,
+        "frames_collided": 590,
+        "success_ratios": (
+            0.9666666666666667,
+            0.9827586206896551,
+            0.8947368421052632,
+            0.9642857142857143,
+        ),
+    },
+}
+
+
+def _config(num_users: int) -> ExperimentConfig:
+    base = ExperimentConfig(
+        mode=MODE_JIT, seed=1, duration_s=120.0, query=QueryParams(radius_m=60.0)
+    )
+    if num_users == 1:
+        return base
+    return base.with_num_users(
+        num_users, arrival_process=ARRIVAL_STAGGERED, arrival_spacing_s=2.5
+    )
+
+
+@pytest.mark.parametrize(
+    "name,num_users", [("single_user", 1), ("four_user", 4)]
+)
+def test_run_matches_pre_optimization_golden(name, num_users):
+    result = run_experiment(_config(num_users))
+    expected = GOLDEN[name]
+    assert result.events_executed == expected["events_executed"]
+    assert result.frames_sent == expected["frames_sent"]
+    assert result.frames_delivered == expected["frames_delivered"]
+    assert result.frames_collided == expected["frames_collided"]
+    # Exact float equality is intentional: the runs must be bit-identical,
+    # not merely statistically close.
+    assert tuple(result.user_success_ratios) == expected["success_ratios"]
+
+
+def test_rerun_is_self_identical():
+    """Two runs of one config agree exactly (no hidden global state in the
+    neighbor caches, busy counters, or kernel fast paths)."""
+    first = run_experiment(_config(4))
+    second = run_experiment(_config(4))
+    assert first.events_executed == second.events_executed
+    assert first.frames_sent == second.frames_sent
+    assert first.frames_delivered == second.frames_delivered
+    assert first.frames_collided == second.frames_collided
+    assert first.user_success_ratios == second.user_success_ratios
+
+
+def test_parallel_replications_match_serial_per_seed():
+    """run_replications_parallel returns per-seed results identical to the
+    serial path, in seed order (forced 2-worker pool, real processes)."""
+    from repro.experiments.runner import run_replications_parallel
+
+    config = _config(1)
+    seeds = [1, 2]
+    serial = run_replications(config, seeds)
+    parallel = run_replications_parallel(config, seeds, max_workers=2)
+    assert [r.config.seed for r in parallel] == seeds
+    for ser, par in zip(serial, parallel):
+        assert ser.events_executed == par.events_executed
+        assert ser.frames_sent == par.frames_sent
+        assert ser.frames_delivered == par.frames_delivered
+        assert ser.frames_collided == par.frames_collided
+        assert ser.user_success_ratios == par.user_success_ratios
+        assert ser.power.mean_sleeper_power_w == par.power.mean_sleeper_power_w
+        assert ser.backbone_size == par.backbone_size

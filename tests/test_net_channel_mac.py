@@ -200,3 +200,155 @@ class TestMobileEndpoint:
         sim.run(until=3.0)
         assert got == []
         assert outcomes == [False]
+
+
+class TestCarrierSenseBookkeeping:
+    """The per-node busy counters must answer carrier sense exactly as the
+    original scan over all in-flight transmissions did."""
+
+    def test_busy_only_for_nodes_in_range_of_sender(self, sim):
+        # 0 -- 50m -- 1 -- 50m -- 2 -- 200m -- 3 : node 3 is out of range.
+        positions = [Vec2(0, 0), Vec2(50, 0), Vec2(100, 0), Vec2(300, 0)]
+        network = make_network(sim, positions)
+        all_active(network)
+        nodes = network.nodes
+        observed = {}
+
+        def probe():
+            observed.update(
+                {n.node_id: network.channel.medium_busy(n) for n in nodes}
+            )
+
+        nodes[0].send(Frame("x", 0, BROADCAST, 1500))
+        sim.schedule(0.004, probe)  # sampled mid-airtime (after backoff)
+        sim.run(until=1.0)
+        assert observed[1] is True
+        assert observed[2] is True
+        assert observed[3] is False
+        # The sender's own transmission does not count for itself.
+        assert observed[0] is False
+
+    def test_busy_until_matches_transmission_end(self, sim):
+        network = make_network(sim, line_positions(2, 50.0))
+        all_active(network)
+        node0, node1 = network.nodes
+        samples = []
+
+        def probe():
+            samples.append((sim.now, network.channel.busy_until(node1)))
+
+        node0.send(Frame("x", 0, BROADCAST, 1500))
+        sim.schedule(0.004, probe)
+        sim.run(until=1.0)
+        (at, until), = samples
+        assert until is not None and until > at
+        # After the air clears the medium reads idle again with no residue.
+        assert network.channel.busy_until(node1) is None
+        assert network.channel.medium_busy(node1) is False
+
+    def test_sleeping_radio_reads_idle(self, sim):
+        network = make_network(sim, line_positions(2, 50.0))
+        all_active(network)
+        node0, node1 = network.nodes
+        states = []
+
+        def probe():
+            node1.radio.sleep()
+            states.append(network.channel.medium_busy(node1))
+
+        node0.send(Frame("x", 0, BROADCAST, 1500))
+        sim.schedule(0.004, probe)
+        sim.run(until=1.0)
+        assert states == [False]
+
+    def test_mobile_endpoint_senses_via_active_scan(self, sim):
+        from repro.net.node import MobileEndpoint
+        from repro.sim.rng import RandomStreams
+
+        network = make_network(sim, line_positions(1, 0.0))
+        all_active(network)
+        proxy = MobileEndpoint(
+            node_id=999,
+            sim=sim,
+            channel=network.channel,
+            rng=RandomStreams(5).stream("proxy"),
+            position_fn=lambda t: Vec2(10.0, 0.0),
+        )
+        network.channel.register_mobile(proxy)
+        states = []
+
+        def probe():
+            states.append(network.channel.medium_busy(proxy))
+            states.append(network.channel.busy_until(proxy) is not None)
+
+        network.nodes[0].send(Frame("x", 0, BROADCAST, 1500))
+        sim.schedule(0.004, probe)
+        sim.run(until=1.0)
+        assert states == [True, True]
+
+
+class TestStaticListenerCache:
+    def test_cache_matches_fresh_grid_query(self, sim):
+        positions = [Vec2(0, 0), Vec2(50, 0), Vec2(100, 0), Vec2(300, 0)]
+        network = make_network(sim, positions)
+        channel = network.channel
+        for node in network.nodes:
+            cached = channel.static_listeners(node.node_id)
+            fresh = [
+                ep
+                for ep in channel.listeners_near(node.position, 0.0)
+                if ep.node_id != node.node_id
+            ]
+            assert list(cached) == fresh
+        # Second call returns the identical tuple (cached, not rebuilt).
+        assert channel.static_listeners(0) is channel.static_listeners(0)
+
+    def test_late_registration_invalidates_cache(self, sim):
+        network = make_network(sim, line_positions(2, 50.0))
+        channel = network.channel
+        before = channel.static_listeners(0)
+        assert [ep.node_id for ep in before] == [1]
+        # Register one more static endpoint in range (plain stub endpoint).
+        from repro.net.node import SensorNode
+        from repro.sim.rng import RandomStreams
+
+        extra = SensorNode(
+            node_id=77,
+            position=Vec2(20.0, 0.0),
+            sim=sim,
+            channel=channel,
+            rng=RandomStreams(9).stream("mac-77"),
+        )
+        channel.register_static(extra)
+        after = channel.static_listeners(0)
+        assert sorted(ep.node_id for ep in after) == [1, 77]
+
+    def test_node_registered_mid_flight_senses_busy(self, sim):
+        """A static endpoint registered while a covering transmission is on
+        the air must read busy immediately (counters seeded from _active)."""
+        from repro.net.node import SensorNode
+        from repro.sim.rng import RandomStreams
+
+        network = make_network(sim, line_positions(2, 50.0))
+        all_active(network)
+        channel = network.channel
+        states = []
+
+        def register_and_probe():
+            late = SensorNode(
+                node_id=88,
+                position=Vec2(25.0, 0.0),
+                sim=sim,
+                channel=channel,
+                rng=RandomStreams(3).stream("mac-88"),
+            )
+            channel.register_static(late)
+            states.append(channel.medium_busy(late))
+            states.append(channel.busy_until(late) is not None)
+
+        network.nodes[0].send(Frame("x", 0, BROADCAST, 1500))
+        sim.schedule(0.004, register_and_probe)  # mid-airtime
+        sim.run(until=1.0)
+        # After the air clears the seeded counter must have drained too.
+        assert not channel.medium_busy(channel.endpoint(88))
+        assert states == [True, True]

@@ -146,8 +146,14 @@ class TestGridProperties:
             positions[i] = Vec2(x, y)
             grid.insert(i, positions[i])
         center = Vec2(cx, cy)
+        # Same boundary predicate the grid documents: squared distance with
+        # a 1e-9 epsilon.  (Comparing `distance <= radius + 1e-9` instead is
+        # a *different* tolerance: for radius=0 and a point 1.2e-7 away the
+        # squared form includes it and the linear form does not.)
         expected = {
-            i for i, p in positions.items() if p.distance_to(center) <= radius + 1e-9
+            i
+            for i, p in positions.items()
+            if p.distance_sq_to(center) <= radius * radius + 1e-9
         }
         assert set(grid.query_disk(center, radius)) == expected
 

@@ -260,3 +260,109 @@ class TestRunControl:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_executed == 4
+
+
+class TestMaxEventsBoundary:
+    """Regression: run() used to execute max_events + 1 events before
+    raising (`executed > max_events` checked after the step)."""
+
+    def test_exactly_max_events_then_drain_is_fine(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(float(i + 1), log.append, i)
+        sim.run(max_events=5)  # queue drains at exactly the limit: no error
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_no_event_beyond_max_events_executes(self):
+        sim = Simulator()
+        log = []
+        for i in range(6):
+            sim.schedule(float(i + 1), log.append, i)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=5)
+        # The sixth event must not have run — not even one past the limit.
+        assert log == [0, 1, 2, 3, 4]
+        assert sim.events_executed == 5
+
+    def test_runaway_model_still_caught(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(until=100.0, max_events=50)
+        assert sim.events_executed == 50
+
+
+class TestFastScheduling:
+    """schedule_fast/schedule_at_fast: identical ordering, no handle."""
+
+    def test_fast_events_interleave_fifo_with_normal_ones(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule_fast(1.0, log.append, "b")
+        sim.schedule_at(1.0, log.append, "c")
+        sim.schedule_at_fast(1.0, log.append, "d")
+        sim.run()
+        assert log == ["a", "b", "c", "d"]
+
+    def test_fast_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_fast(-0.1, lambda: None)
+
+    def test_fast_schedule_at_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at_fast(5.0, lambda: None)
+
+    def test_fast_events_count_in_pending_and_step(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_fast(1.0, log.append, "x")
+        assert sim.pending_count == 1
+        assert sim.peek() == 1.0
+        assert sim.step() is True
+        assert log == ["x"]
+
+
+class TestCancellationAccounting:
+    """pending_count is O(1) bookkeeping; compaction keeps it exact."""
+
+    def test_pending_count_after_mass_cancellation(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + i, lambda: None) for i in range(500)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending_count == 250
+
+    def test_compaction_preserves_order_and_counts(self):
+        sim = Simulator()
+        log = []
+        keep = [sim.schedule(float(i + 1), log.append, i) for i in range(100)]
+        drop = [sim.schedule(1000.0 + i, lambda: None) for i in range(300)]
+        for handle in drop:
+            handle.cancel()  # triggers in-place compaction
+        assert sim.pending_count == 100
+        sim.run()
+        assert log == list(range(100))
+        assert keep[0].pending is False
+
+    def test_cancel_mid_run_with_compaction(self):
+        sim = Simulator()
+        log = []
+        victims = [sim.schedule(2.0 + i * 1e-6, log.append, i) for i in range(200)]
+
+        def cancel_all():
+            for victim in victims:
+                victim.cancel()
+
+        sim.schedule(1.0, cancel_all)
+        sim.schedule(5000.0, log.append, "end")
+        sim.run()
+        assert log == ["end"]
+        assert sim.events_executed == 2
