@@ -1,17 +1,28 @@
 # MobiQuery reproduction — common developer entry points.
 #
-#   make test         tier-1 unit/integration tests (fast, ~20 s)
-#   make bench-smoke  the two CI benchmark smokes (fig4 + multi-user scaling)
-#   make bench        every benchmark (regenerates all paper figures, slow)
-#   make bench-perf   time the hot paths and write BENCH_perf.json
-#   make check        what CI runs on every push
+#   make test            tier-1 unit/integration tests (fast, ~20 s)
+#   make bench-smoke     the two CI benchmark smokes (fig4 + multi-user scaling)
+#   make bench           every benchmark (regenerates all paper figures, slow)
+#   make bench-perf      time the hot paths and write BENCH_perf.json
+#   make examples-smoke  run every examples/ script at quick scale
+#   make check           what CI runs on every push
 
 PY ?= python
 
-.PHONY: test bench bench-smoke bench-perf check
+#: quick-scale duration (seconds) the examples smoke runs at
+EXAMPLE_SMOKE_DURATION ?= 30
+
+.PHONY: test bench bench-smoke bench-perf examples-smoke check
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q tests/
+
+examples-smoke:
+	@for script in examples/*.py; do \
+		echo "== $$script (REPRO_EXAMPLE_DURATION=$(EXAMPLE_SMOKE_DURATION))"; \
+		PYTHONPATH=src REPRO_EXAMPLE_DURATION=$(EXAMPLE_SMOKE_DURATION) \
+			$(PY) $$script > /dev/null || exit 1; \
+	done; echo "all examples OK"
 
 bench-smoke:
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/test_fig4_success_ratio.py benchmarks/test_multiuser_scaling.py
@@ -24,4 +35,4 @@ bench:
 bench-perf:
 	PYTHONPATH=src $(PY) -m repro bench --scale quick --output BENCH_perf.json $(PERF_ARGS)
 
-check: test bench-smoke
+check: test bench-smoke examples-smoke

@@ -1,8 +1,8 @@
 """Hot-path performance harness — events/sec, wall-clock, and gating.
 
-Times the canonical scenarios (the fig4 single-user setting and the
-16-user scaling point), writes ``BENCH_perf.json`` at the repo root, and
-enforces two properties:
+Times the canonical scenarios (the fig4 single-user setting, the 16-user
+scaling point, and the heterogeneous-mix service-façade run), writes
+``BENCH_perf.json`` at the repo root, and enforces two properties:
 
 * **Determinism** (always): each scenario's event and frame counts must
   equal the pinned quick-scale fingerprints — a perf "win" that changes
@@ -51,7 +51,7 @@ def test_perf_hotpaths(once, emit):
     # pre-PR baseline, so the speedup trajectory travels with the file.
     written = json.loads(REPORT_PATH.read_text())
     assert written["pre_pr_baseline"] == PRE_PR_BASELINE
-    for name in ("fig4_jit", "scale_16users"):
+    for name in ("fig4_jit", "scale_16users", "hetero_mix_8users"):
         assert name in written["scenarios"]
         assert written["scenarios"][name]["events_per_sec"] > 0
 

@@ -10,6 +10,8 @@ Run:
     python examples/backbone_ablation.py
 """
 
+import os
+
 from repro.core.metrics import measure_power
 from repro.net.network import NetworkConfig, build_network
 from repro.power.base import PowerManagementProtocol
@@ -21,7 +23,8 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 
 SEED = 11
-SETTLE_S = 120.0
+#: override for quick smoke runs (CI examples-smoke)
+SETTLE_S = float(os.environ.get("REPRO_EXAMPLE_DURATION", "120"))
 
 
 def evaluate(protocol: PowerManagementProtocol):

@@ -16,6 +16,8 @@ Run:
     python examples/firefighter.py
 """
 
+import os
+
 from repro.core.gateway import MobiQueryGateway
 from repro.core.metrics import build_session_metrics
 from repro.core.query import Aggregation, QuerySpec
@@ -32,7 +34,8 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
 
-DURATION_S = 160.0
+#: override for quick smoke runs (CI examples-smoke)
+DURATION_S = float(os.environ.get("REPRO_EXAMPLE_DURATION", "160"))
 
 
 def main() -> None:

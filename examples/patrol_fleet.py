@@ -2,41 +2,40 @@
 """Patrol fleet — N robots querying one shared sensor field concurrently.
 
 A security fleet patrols a 450 m x 450 m sensor field: each robot loops a
-rectangular beat at walking speed, continuously asking "average reading
-within 60 m of me, every 2 s, data at most 1 s old".  All robots share
-one network, one duty-cycling backbone and one MobiQuery protocol
-instance — their query trees coexist on the same nodes, keyed by
-``(user_id, query_id)`` — and the fleet is dispatched one robot every
-few seconds (staggered arrivals), which also desynchronises the report
-bursts of neighbouring beats.
+rectangular beat at walking speed, continuously asking "average hazard
+reading within 60 m of me, every 2 s, data at most 1 s old".  All robots
+share one network, one duty-cycling backbone and one protocol instance —
+their query trees coexist on the same nodes, keyed by ``(user_id,
+query_id)`` — and the fleet is dispatched one robot every few seconds,
+which also desynchronises the report bursts of neighbouring beats.
 
-This is the quickstart for the ``repro.workload`` layer: build plans,
-add users to a :class:`Workload`, run the shared kernel, score each
-session independently.
+This is the quickstart for the **service API** with custom motion: each
+robot is one ``QueryRequest`` carrying its own patrol path, submitted to
+a shared ``MobiQueryService``.  Midway through the run one robot is
+recalled — ``handle.cancel()`` tears down every piece of its in-network
+state (collector chain, query trees, buffered setups) while the rest of
+the fleet keeps patrolling.
+
+The same fleet also exists declaratively: ``repro scenario patrol-fleet``.
 
 Run:
     python examples/patrol_fleet.py
 """
 
-from repro.core.gateway import SessionScheduler  # noqa: F401  (part of the tour)
-from repro.core.query import Aggregation, QuerySpec
-from repro.core.service import MobiQueryConfig, MobiQueryProtocol
+import os
+
+from repro import ExperimentConfig, MobiQueryService, QueryRequest, MODE_JIT
+from repro.core.query import Aggregation
 from repro.geometry.vec import Vec2
 from repro.mobility.models import patrol_path
-from repro.mobility.planner import FullKnowledgeProvider
-from repro.net.network import NetworkConfig, build_network
-from repro.net.routing import GeoRouter
-from repro.power.ccp import CcpProtocol
-from repro.sim.kernel import Simulator
-from repro.sim.rng import RandomStreams
-from repro.sim.trace import Tracer
-from repro.workload import UserPlan, Workload, arrival_times
 
 NUM_ROBOTS = 6
-DURATION_S = 90.0
+DURATION_S = float(os.environ.get("REPRO_EXAMPLE_DURATION", "90"))
 PATROL_SPEED_MPS = 4.0
 QUERY_RADIUS_M = 60.0
 DISPATCH_SPACING_S = 2.5
+RECALL_ROBOT = 4          # recalled to base mid-run
+RECALL_AT_S = DURATION_S / 2
 
 
 def beat_waypoints(index: int) -> list:
@@ -55,65 +54,61 @@ def beat_waypoints(index: int) -> list:
 
 def main() -> None:
     print(f"Dispatching {NUM_ROBOTS} patrol robots onto one shared field...")
-    sim = Simulator()
-    streams = RandomStreams(11)
-    tracer = Tracer()
-    network = build_network(sim, NetworkConfig(), streams, tracer)
-    CcpProtocol().apply(network, streams)
-    geo = GeoRouter(network)
-    protocol = MobiQueryProtocol(network, geo, MobiQueryConfig(), tracer)
-
-    workload = Workload(network, tracer)
-    starts = arrival_times(
-        NUM_ROBOTS, process="staggered", spacing_s=DISPATCH_SPACING_S
+    service = MobiQueryService(
+        ExperimentConfig(mode=MODE_JIT, seed=11, duration_s=DURATION_S)
     )
+    print(f"Backbone: {service.backbone_size} of "
+          f"{service.config.network.n_nodes} nodes stay awake (CCP)")
+
+    handles = []
     for robot in range(NUM_ROBOTS):
-        path = patrol_path(
-            beat_waypoints(robot), speed=PATROL_SPEED_MPS, loops=4
+        start = robot * DISPATCH_SPACING_S
+        handle = service.submit(
+            QueryRequest(
+                attribute="hazard",
+                aggregation=Aggregation.AVG,
+                radius_m=QUERY_RADIUS_M,
+                period_s=2.0,
+                freshness_s=1.0,
+                start_s=start,
+                path=patrol_path(
+                    beat_waypoints(robot), speed=PATROL_SPEED_MPS, loops=4
+                ),
+            )
         )
-        spec = QuerySpec(
-            attribute="hazard",
-            aggregation=Aggregation.AVG,
-            radius_m=QUERY_RADIUS_M,
-            period_s=2.0,
-            freshness_s=1.0,
-            lifetime_s=DURATION_S - starts[robot],
-            user_id=robot,
-            start_s=starts[robot],
-        )
-        plan = UserPlan(
-            user_id=robot,
-            spec=spec,
-            path=path,
-            provider=FullKnowledgeProvider(path, DURATION_S),
-        )
-        workload.add_mobiquery_user(
-            plan, protocol, rng=streams.stream(f"proxy.{robot}")
-        )
-        print(f"  robot {robot}: beat at {beat_waypoints(robot)[0]}, "
-              f"dispatched t={starts[robot]:.1f}s")
+        handles.append(handle)
+        print(f"  robot {handle.user_id}: beat at {beat_waypoints(robot)[0]}, "
+              f"dispatched t={start:.1f}s")
 
-    print(f"\nBackbone: {len(network.active_nodes)} of "
-          f"{network.config.n_nodes} nodes stay awake (CCP)")
-    # tail covers the last deliveries plus the 2 s state-GC grace
-    workload.run(until=DURATION_S + 3.0)
-    result = workload.finalize(DURATION_S)
+    # Patrol until mid-run, then recall one robot: cancel() releases all
+    # of its in-network state while the rest of the fleet keeps going.
+    service.run_until(RECALL_AT_S)
+    recalled = handles[RECALL_ROBOT]
+    recalled.cancel()
+    key = recalled.session_key
+    print(f"\nRecalled robot {recalled.user_id} at t={RECALL_AT_S:.0f}s: "
+          f"{service.protocol.tree_state_count(session=key)} tree states, "
+          f"{len(service.protocol.live_collector_periods(session=key))} "
+          f"collectors left in-network (all torn down)")
 
-    print("\n robot  start  periods  success  fidelity  deliveries")
-    print(" -----  -----  -------  -------  --------  ----------")
-    for session in result.sessions:
+    result = service.finalize()
+
+    print("\n robot  status     start  periods  success  fidelity")
+    print(" -----  ---------  -----  -------  -------  --------")
+    for handle, session in zip(handles, result.sessions):
         m = session.metrics
-        print(
-            f" {session.user_id:>5}  {session.start_s:4.1f}s  "
-            f"{m.num_periods:>7}  {m.success_ratio():6.1%}  "
-            f"{m.mean_fidelity():7.1%}  {session.deliveries:>10}"
-        )
+        print(f" {session.user_id:>5}  {handle.status:<9}  "
+              f"{session.start_s:4.1f}s  {m.num_periods:>7}  "
+              f"{m.success_ratio():6.1%}  {m.mean_fidelity():7.1%}")
     print(f"\nFleet mean success ratio: {result.mean_success_ratio():.1%}")
     print(f"Fleet worst user        : {result.min_success_ratio():.1%}")
-    print(f"Frames on air: {network.channel.frames_sent}, "
-          f"collided receptions: {network.channel.frames_collided}")
+    channel = service.network.channel
+    print(f"Frames on air: {channel.frames_sent}, "
+          f"collided receptions: {channel.frames_collided}")
+    # drain the 2 s state-GC grace past the last deadlines
+    service.run_until(DURATION_S + 3.0)
     print(f"Live in-network sessions after the run: "
-          f"{len(protocol.active_sessions())} (all state GC'd)")
+          f"{len(service.protocol.active_sessions())} (all state GC'd)")
 
 
 if __name__ == "__main__":

@@ -16,10 +16,13 @@ Run:
     python examples/rescue_robot.py
 """
 
+import os
+
 from repro.experiments.config import paper_section63_config
 from repro.experiments.runner import run_experiment
 
-DURATION_S = 240.0
+#: override for quick smoke runs (CI examples-smoke)
+DURATION_S = float(os.environ.get("REPRO_EXAMPLE_DURATION", "240"))
 CHANGE_INTERVAL_S = 70.0
 
 

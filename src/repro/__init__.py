@@ -2,9 +2,21 @@
 in wireless sensor networks (Lu, Xing, Chipara, Fok, Bhattacharya — ICDCS
 2005), rebuilt on a from-scratch Python discrete-event simulator.
 
-Quick tour of the public API::
+Quick tour of the public API (the service façade)::
 
-    from repro import ExperimentConfig, run_experiment, MODE_JIT
+    from repro import ExperimentConfig, MobiQueryService, QueryRequest, MODE_JIT
+
+    service = MobiQueryService(ExperimentConfig(mode=MODE_JIT, seed=7,
+                                                duration_s=120.0))
+    handle = service.submit(QueryRequest(radius_m=60.0, period_s=2.0))
+    for outcome in handle.results():      # streams per-period results
+        print(outcome.k, outcome.on_time, outcome.value)
+    print(handle.result().success_ratio)
+
+The legacy experiment surface still works (and now routes through the
+service)::
+
+    from repro import run_experiment
 
     result = run_experiment(ExperimentConfig(mode=MODE_JIT, seed=7,
                                              duration_s=120.0))
@@ -12,6 +24,9 @@ Quick tour of the public API::
 
 Subpackages:
 
+* ``repro.api`` — **the stable public surface**: ``MobiQueryService``
+  (submit/stream/cancel sessions, heterogeneous per-user queries),
+  admission control, and the declarative scenario registry.
 * ``repro.sim`` — event kernel, processes, RNG streams, tracing.
 * ``repro.geometry`` — 2-D vectors, circles, spatial grid.
 * ``repro.net`` — channel, CSMA/CA MAC, 802.11-PSM duty cycling, energy,
@@ -27,6 +42,26 @@ Subpackages:
 * ``repro.experiments`` — per-figure experiment harness.
 """
 
+from .api import (
+    AcceptAllPolicy,
+    AdmissionDecision,
+    AdmissionError,
+    AdmissionPolicy,
+    MobiQueryService,
+    PerAreaCapPolicy,
+    PeriodOutcome,
+    PhaseAssignPolicy,
+    QueryRequest,
+    ScenarioResult,
+    ScenarioSpec,
+    SessionHandle,
+    get_scenario,
+    list_scenarios,
+    load_scenario_file,
+    make_admission_policy,
+    run_scenario,
+    validate_query_params,
+)
 from .core import (
     AggregateState,
     Aggregation,
@@ -91,6 +126,25 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # api (the stable service surface)
+    "MobiQueryService",
+    "SessionHandle",
+    "QueryRequest",
+    "PeriodOutcome",
+    "AdmissionError",
+    "AdmissionPolicy",
+    "AdmissionDecision",
+    "AcceptAllPolicy",
+    "PerAreaCapPolicy",
+    "PhaseAssignPolicy",
+    "make_admission_policy",
+    "validate_query_params",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "get_scenario",
+    "list_scenarios",
+    "load_scenario_file",
+    "run_scenario",
     # experiments
     "ExperimentConfig",
     "RunResult",

@@ -1,0 +1,79 @@
+"""Service-facing public API: the stable surface of the reproduction.
+
+``repro.api`` is the primary entry point for everything the paper calls
+"the query service".  One :class:`MobiQueryService` wraps a simulated
+world (network + kernel + protocol); mobile users :meth:`~MobiQueryService
+.submit` independent :class:`QueryRequest`\\ s — each with its own
+attribute, aggregation, radius, period, freshness and start — and hold
+:class:`SessionHandle`\\ s for streaming (:meth:`~SessionHandle.results`),
+cancellation and scoring.  Admission control (:mod:`repro.api.admission`)
+guards the shared medium; declarative scenarios (:mod:`repro.api.
+scenarios`) package whole workloads as plain data runnable from the CLI
+(``repro scenario <name>``).
+
+The legacy experiment surface (``repro.experiments``) is a thin adapter
+over this package and remains bit-identical for the paper figures.
+"""
+
+from .admission import (
+    ADMISSION_POLICIES,
+    AcceptAllPolicy,
+    AdmissionDecision,
+    AdmissionPolicy,
+    PerAreaCapPolicy,
+    PhaseAssignPolicy,
+    make_admission_policy,
+)
+from .requests import PeriodOutcome, QueryRequest, validate_query_params
+from .scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    ScenarioSpec,
+    build_requests,
+    build_service,
+    get_scenario,
+    list_scenarios,
+    load_scenario_file,
+    run_scenario,
+)
+from .service import (
+    AdmissionError,
+    MobiQueryService,
+    SessionHandle,
+    STATUS_ADMITTED,
+    STATUS_CANCELLED,
+    STATUS_COMPLETED,
+    STATUS_REJECTED,
+)
+
+__all__ = [
+    # service façade
+    "MobiQueryService",
+    "SessionHandle",
+    "QueryRequest",
+    "PeriodOutcome",
+    "AdmissionError",
+    "validate_query_params",
+    "STATUS_REJECTED",
+    "STATUS_ADMITTED",
+    "STATUS_CANCELLED",
+    "STATUS_COMPLETED",
+    # admission
+    "AdmissionPolicy",
+    "AdmissionDecision",
+    "AcceptAllPolicy",
+    "PerAreaCapPolicy",
+    "PhaseAssignPolicy",
+    "ADMISSION_POLICIES",
+    "make_admission_policy",
+    # scenarios
+    "ScenarioSpec",
+    "ScenarioResult",
+    "SCENARIOS",
+    "get_scenario",
+    "list_scenarios",
+    "load_scenario_file",
+    "build_requests",
+    "build_service",
+    "run_scenario",
+]

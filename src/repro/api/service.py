@@ -1,0 +1,630 @@
+"""The MobiQuery service façade: the repo's primary public entry point.
+
+One :class:`MobiQueryService` owns a world — simulation kernel, sensor
+network, duty-cycling backbone, routing/flooding, and one in-network
+protocol engine — and exposes the *service* surface the paper describes:
+mobile users ``submit()`` spatiotemporal queries and get back a
+:class:`SessionHandle` with a submit/stream/cancel lifecycle:
+
+    service = MobiQueryService(ExperimentConfig(mode=MODE_JIT, seed=7,
+                                                duration_s=120.0))
+    handle = service.submit(QueryRequest(radius_m=60.0, period_s=2.0))
+    for outcome in handle.results():          # advances the shared clock
+        print(outcome.k, outcome.on_time, outcome.value)
+    result = handle.result()                  # scored SessionResult
+
+Every request carries its own attribute/aggregation/radius/period/
+freshness/start — heterogeneous per-user workloads are the normal case,
+not a special mode.  A pluggable :class:`AdmissionPolicy` guards the
+shared medium (per-area caps, server-side phase assignment); rejected
+requests provably leave the kernel untouched.
+
+The legacy experiment surface (``ExperimentConfig`` + ``run_experiment``)
+is reimplemented as a thin adapter over this façade and remains
+bit-identical to its pre-API behaviour; new code should talk to the
+service directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..core.baseline import NoPrefetchProtocol
+from ..core.gateway import MobiQueryGateway, NoPrefetchGateway
+from ..core.metrics import (
+    ContentionTracker,
+    SessionMetrics,
+    StorageTracker,
+    build_session_metrics,
+)
+from ..core.query import QuerySpec
+from ..core.service import MobiQueryConfig, MobiQueryProtocol
+from ..experiments.config import (
+    MODE_GREEDY,
+    MODE_IDLE,
+    MODE_JIT,
+    MODE_NP,
+    PROFILE_FULL,
+    PROFILE_PLANNER,
+    PROFILE_PREDICTOR,
+    ExperimentConfig,
+)
+from ..geometry.vec import Vec2
+from ..mobility.gps import GpsModel
+from ..mobility.models import random_direction_path
+from ..mobility.path import PiecewisePath
+from ..mobility.planner import FullKnowledgeProvider, PlannerProfileProvider
+from ..mobility.predictor import HistoryPredictorProvider
+from ..mobility.profile import ProfileProvider
+from ..net.flooding import FloodManager
+from ..net.network import build_network
+from ..net.routing import GeoRouter
+from ..power.ccp import CcpProtocol
+from ..sim.kernel import Simulator
+from ..sim.rng import RandomStreams
+from ..sim.trace import Tracer
+from ..workload.engine import Workload, WorkloadResult
+from ..workload.session import SessionResult, UserPlan, UserSession
+from .admission import AcceptAllPolicy, AdmissionPolicy
+from .requests import PeriodOutcome, QueryRequest
+
+#: extra simulated time after the last deadline (late stragglers, GC)
+RUN_TAIL_S = 0.5
+
+#: session lifecycle states
+STATUS_REJECTED = "rejected"
+STATUS_ADMITTED = "admitted"
+STATUS_CANCELLED = "cancelled"
+STATUS_COMPLETED = "completed"
+
+
+class AdmissionError(ValueError):
+    """Raised by :meth:`SessionHandle.require_admitted` on a rejected handle."""
+
+
+def user_stream(base: str, user_id: int) -> str:
+    """Stream name for a per-user random source.
+
+    User 0 keeps the historical un-suffixed names so single-user runs
+    consume exactly the same random sequences as before the multi-user
+    engine existed (bit-for-bit reproducibility of the paper figures).
+    """
+    return base if user_id == 0 else f"{base}.u{user_id}"
+
+
+def make_user_path(
+    config: ExperimentConfig,
+    streams: RandomStreams,
+    user_id: int = 0,
+) -> PiecewisePath:
+    """The paper's user motion: random-direction from the region corner.
+
+    User 0 starts at the corner exactly as in the paper; later users start
+    at an independent uniform position inside the margin-inset region (a
+    fleet piling onto one corner would measure MAC contention at a single
+    cell, not the service).
+    """
+    region = config.network.region
+    rng = streams.stream(user_stream("mobility", user_id))
+    if user_id == 0:
+        start = Vec2(
+            region.x_min + config.mobility.margin_m,
+            region.y_min + config.mobility.margin_m,
+        )
+    else:
+        margin = config.mobility.margin_m
+        start = Vec2(
+            float(rng.uniform(region.x_min + margin, region.x_max - margin)),
+            float(rng.uniform(region.y_min + margin, region.y_max - margin)),
+        )
+    return random_direction_path(
+        region=region,
+        duration_s=config.duration_s,
+        config=config.mobility,
+        rng=rng,
+        start=start,
+    )
+
+
+def make_profile_provider(
+    config: ExperimentConfig,
+    true_path: PiecewisePath,
+    streams: RandomStreams,
+    user_id: int = 0,
+    profile_mode: Optional[str] = None,
+    advance_time_s: Optional[float] = None,
+    gps_error_m: Optional[float] = None,
+    sampling_period_s: Optional[float] = None,
+) -> ProfileProvider:
+    """Build the motion-profile pipeline for one user.
+
+    ``profile_mode`` and the knob overrides default to the service config;
+    a per-request override lets one fleet mix full-knowledge, planner and
+    predictor users.
+    """
+    mode = profile_mode or config.profile_mode
+    if mode == PROFILE_FULL:
+        return FullKnowledgeProvider(true_path, config.duration_s)
+    if mode == PROFILE_PLANNER:
+        advance = (
+            advance_time_s if advance_time_s is not None else config.advance_time_s
+        )
+        return PlannerProfileProvider(
+            true_path, config.duration_s, advance_time_s=advance
+        )
+    if mode == PROFILE_PREDICTOR:
+        error = gps_error_m if gps_error_m is not None else config.gps_error_m
+        sampling = (
+            sampling_period_s
+            if sampling_period_s is not None
+            else config.sampling_period_s
+        )
+        return HistoryPredictorProvider(
+            true_path,
+            config.duration_s,
+            gps=GpsModel(max_error_m=error),
+            rng=streams.stream(user_stream("gps", user_id)),
+            sampling_period_s=sampling,
+        )
+    raise ValueError(f"unhandled profile mode {mode!r}")
+
+
+class SessionHandle:
+    """One submitted query session: status, streamed results, cancel.
+
+    Handles are created by :meth:`MobiQueryService.submit` — rejected
+    requests get a handle too (``status == "rejected"``, ``accepted`` is
+    False) so callers can uniformly inspect the admission verdict and
+    resubmit later.
+    """
+
+    def __init__(
+        self,
+        service: "MobiQueryService",
+        request: QueryRequest,
+        status: str,
+        reason: str = "",
+        spec: Optional[QuerySpec] = None,
+        path: Optional[PiecewisePath] = None,
+        session: Optional[UserSession] = None,
+    ) -> None:
+        self.service = service
+        self.request = request
+        self.status = status
+        self.reason = reason
+        self.spec = spec
+        self.path = path
+        self.session = session
+        self.submitted_at = service.sim.now
+        self.cancelled_at: Optional[float] = None
+        self._result: Optional[SessionResult] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def accepted(self) -> bool:
+        """Whether the admission policy let the session in."""
+        return self.status != STATUS_REJECTED
+
+    @property
+    def user_id(self) -> Optional[int]:
+        return self.spec.user_id if self.spec is not None else self.request.user_id
+
+    @property
+    def query_id(self) -> Optional[int]:
+        return self.spec.query_id if self.spec is not None else None
+
+    @property
+    def session_key(self) -> Optional[tuple]:
+        return self.spec.session_key if self.spec is not None else None
+
+    def require_admitted(self) -> "SessionHandle":
+        """Return self, or raise :class:`AdmissionError` if rejected."""
+        if not self.accepted:
+            raise AdmissionError(
+                f"session was rejected by admission control: {self.reason}"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def results(self) -> Iterator[PeriodOutcome]:
+        """Stream per-period outcomes, advancing the shared clock as needed.
+
+        Yields one :class:`PeriodOutcome` per period, in order, classifying
+        each at its deadline instant.  Driving the iterator runs the shared
+        kernel forward, so other concurrent sessions advance too.  A
+        cancelled session's stream ends at the cancellation time.
+        """
+        self.require_admitted()
+        assert self.spec is not None and self.session is not None
+        spec = self.spec
+        for k in range(1, spec.num_periods + 1):
+            deadline = spec.deadline(k)
+            if self.cancelled_at is not None and deadline > self.cancelled_at:
+                return
+            self.service.run_until(deadline)
+            records = self.session.gateway.deliveries_for(k)
+            on_time = [d for d in records if d.time <= deadline + 1e-9]
+            # Same selection rule as build_session_metrics: after a profile
+            # correction two collectors may both deliver on time — the user
+            # keeps the best (most contributors) on-time result, so the
+            # streamed value always matches the scored record.
+            if on_time:
+                chosen = max(on_time, key=lambda d: (len(d.contributors), d.time))
+            else:
+                chosen = records[0] if records else None
+            yield PeriodOutcome(
+                k=k,
+                deadline=deadline,
+                delivered=bool(records),
+                on_time=bool(on_time),
+                value=chosen.value if chosen is not None else None,
+                contributors=len(chosen.contributors) if chosen is not None else 0,
+                delivered_at=chosen.time if chosen is not None else None,
+                area_center=chosen.area_center if chosen is not None else None,
+            )
+
+    def cancel(self) -> None:
+        """Tear the session down mid-run (see :meth:`MobiQueryService.cancel`)."""
+        self.service.cancel(self)
+
+    def result(self) -> SessionResult:
+        """The scored session (runs the service to completion if needed)."""
+        self.require_admitted()
+        if self._result is None:
+            if self.status != STATUS_CANCELLED:
+                self.service.run()
+            self._result = self.service._score(self)
+        return self._result
+
+    def metrics(self) -> SessionMetrics:
+        """The scored per-period metrics (convenience over :meth:`result`)."""
+        return self.result().metrics
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        key = self.session_key
+        return f"<SessionHandle {key if key else '-'} {self.status}>"
+
+
+class MobiQueryService:
+    """Submit/stream/cancel façade over one shared simulated world.
+
+    Args:
+        config: the world description — service variant (``mode``), seed,
+            horizon (``duration_s``), network, default mobility and profile
+            pipeline.  The ``query``/``num_users``/``arrival_*`` fields are
+            *defaults for the legacy experiment adapter only*; the service
+            itself takes per-user parameters from each
+            :class:`QueryRequest`.
+        admission: the admission policy (default accept-all).
+        tracer: optional shared tracer (a fresh one by default).
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        admission: Optional[AdmissionPolicy] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.config = config
+        self.admission = admission or AcceptAllPolicy()
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.tracer = tracer if tracer is not None else Tracer()
+        # De-align the shared beacon schedule from the query start: real
+        # users issue queries at arbitrary phases of the PSM cycle.
+        self.psm_offset_s = float(
+            self.streams.stream("psm").uniform(0.0, config.network.sleep_period_s)
+        )
+        network_config = replace(config.network, psm_offset_s=self.psm_offset_s)
+        self.network = build_network(
+            self.sim, network_config, self.streams, self.tracer
+        )
+        CcpProtocol().apply(self.network, self.streams)
+        self.geo = GeoRouter(self.network)
+        self.flood = FloodManager(self.network)
+        self.workload = Workload(self.network, self.tracer)
+        self.protocol: Optional[MobiQueryProtocol] = None
+        self.np_protocol: Optional[NoPrefetchProtocol] = None
+        self.storage: Optional[StorageTracker] = None
+        self.contention: Optional[ContentionTracker] = None
+        if config.mode in (MODE_JIT, MODE_GREEDY):
+            self.protocol = MobiQueryProtocol(
+                self.network,
+                self.geo,
+                MobiQueryConfig(
+                    prefetch_policy=config.mode,
+                    pickup_radius_m=config.pickup_radius_m,
+                    parent_upgrade=config.parent_upgrade,
+                    redeliver_setups=config.redeliver_setups,
+                ),
+                self.tracer,
+            )
+            self.storage = StorageTracker(self.tracer)
+            self.contention = ContentionTracker(
+                self.tracer,
+                sleep_period_s=config.network.sleep_period_s,
+                active_window_s=config.network.active_window_s,
+                query_radius_m=config.query.radius_m,
+                comm_range_m=config.network.comm_range_m,
+                psm_offset_s=self.psm_offset_s,
+            )
+        self.handles: List[SessionHandle] = []
+        self._admitted_total = 0
+        self._completed = False
+
+    # ------------------------------------------------------------------
+    # Introspection the policies and adapters need
+    # ------------------------------------------------------------------
+    @property
+    def duration_s(self) -> float:
+        """The service horizon (end of the simulated day)."""
+        return self.config.duration_s
+
+    def admitted_count(self) -> int:
+        """How many sessions were ever admitted (phase-slot counter)."""
+        return self._admitted_total
+
+    def admitted_handles(self) -> List[SessionHandle]:
+        """Handles of every admitted session, in submission order."""
+        return [h for h in self.handles if h.accepted]
+
+    def live_session_specs(self, at: float) -> List[SessionHandle]:
+        """Admitted, uncancelled sessions whose lifetime covers time ``at``."""
+        live = []
+        for handle in self.handles:
+            if not handle.accepted or handle.status == STATUS_CANCELLED:
+                continue
+            spec = handle.spec
+            assert spec is not None
+            if spec.start_s <= at < spec.end_s:
+                live.append(handle)
+        return live
+
+    def _used_user_ids(self) -> set:
+        return {
+            h.spec.user_id
+            for h in self.handles
+            if h.accepted and h.spec is not None
+        }
+
+    # ------------------------------------------------------------------
+    # The lifecycle: submit / run / cancel / finalize
+    # ------------------------------------------------------------------
+    def submit(self, request: QueryRequest) -> SessionHandle:
+        """Submit one query; returns its handle (possibly rejected).
+
+        The request is validated, the user's motion resolved (synthesised
+        if the request carries no path — policies need the motion to judge
+        area overlap), and the admission policy asked.  A rejected request
+        leaves the *kernel* untouched: no proxy joins the channel, no event
+        is scheduled, no protocol or scheduler state appears.  The one
+        side effect of rejection is that a synthesised path has consumed
+        draws from the user's mobility stream, so a resubmission without
+        an explicit path walks a different (equally distributed) route.
+        """
+        if self.config.mode == MODE_IDLE:
+            raise ValueError("an idle-mode service accepts no queries")
+        if self._completed:
+            raise ValueError("the service horizon has passed (run finished)")
+        user_id = request.user_id
+        if user_id is None:
+            used = self._used_user_ids()
+            user_id = 0
+            while user_id in used:
+                user_id += 1
+        elif any(
+            h.spec is not None
+            and h.spec.user_id == user_id
+            and h.accepted
+            and h.status != STATUS_CANCELLED
+            for h in self.handles
+        ):
+            raise ValueError(
+                f"user {user_id} already has a live session; cancel it first "
+                f"or submit without a user_id"
+            )
+        start_s = max(request.start_s, self.sim.now)
+        path = request.path
+        if path is None:
+            path = make_user_path(self.config, self.streams, user_id)
+        spec = self._build_spec(request, user_id, start_s)
+        decision = self.admission.decide(spec, path, self)
+        if not decision.admitted:
+            handle = SessionHandle(
+                self, request, STATUS_REJECTED, reason=decision.reason
+            )
+            self.handles.append(handle)
+            self.tracer.emit(
+                "admission-rejected",
+                self.sim.now,
+                user=user_id,
+                reason=decision.reason,
+            )
+            return handle
+        if decision.start_offset_s:
+            offset_start = start_s + decision.start_offset_s
+            # Never let a phase offset push the session past its last
+            # serviceable period; in that corner the original phase wins.
+            if offset_start <= self.duration_s - request.period_s:
+                spec = self._build_spec(request, user_id, offset_start)
+        session = self._admit(request, spec, path)
+        handle = SessionHandle(
+            self,
+            request,
+            STATUS_ADMITTED,
+            spec=spec,
+            path=path,
+            session=session,
+        )
+        self.handles.append(handle)
+        self._admitted_total += 1
+        return handle
+
+    def _build_spec(
+        self, request: QueryRequest, user_id: int, start_s: float
+    ) -> QuerySpec:
+        horizon = self.duration_s
+        if start_s > horizon - request.period_s + 1e-9:
+            raise ValueError(
+                f"session starts at {start_s:.1f}s but the service horizon is "
+                f"{horizon:.1f}s — no serviceable period left"
+            )
+        lifetime = request.lifetime_s
+        if lifetime is None:
+            lifetime = horizon - start_s
+        else:
+            lifetime = min(lifetime, horizon - start_s)
+        return QuerySpec(
+            attribute=request.attribute,
+            aggregation=request.aggregation,
+            radius_m=request.radius_m,
+            period_s=request.period_s,
+            freshness_s=request.freshness_s,
+            lifetime_s=lifetime,
+            user_id=user_id,
+            start_s=start_s,
+        )
+
+    def _admit(
+        self, request: QueryRequest, spec: QuerySpec, path: PiecewisePath
+    ) -> UserSession:
+        user_id = spec.user_id
+        rng: np.random.Generator = self.streams.stream(
+            user_stream("proxy", user_id)
+        )
+        if self.config.mode == MODE_NP:
+            if self.np_protocol is None:
+                self.np_protocol = NoPrefetchProtocol(
+                    self.network, self.geo, self.flood, tracer=self.tracer
+                )
+            plan = UserPlan(user_id=user_id, spec=spec, path=path)
+            session = self.workload.add_noprefetch_user(
+                plan, self.np_protocol, self.flood, rng=rng
+            )
+        else:
+            provider = request.provider
+            if provider is None:
+                provider = make_profile_provider(
+                    self.config,
+                    path,
+                    self.streams,
+                    user_id,
+                    profile_mode=request.profile_mode,
+                    advance_time_s=request.advance_time_s,
+                    gps_error_m=request.gps_error_m,
+                    sampling_period_s=request.sampling_period_s,
+                )
+            plan = UserPlan(
+                user_id=user_id, spec=spec, path=path, provider=provider
+            )
+            assert self.protocol is not None
+            session = self.workload.add_mobiquery_user(plan, self.protocol, rng)
+        if self.storage is not None:
+            self.storage.register_spec(spec)
+        return session
+
+    def cancel(self, handle: SessionHandle) -> None:
+        """Tear down one session mid-run.
+
+        The proxy-side gateway goes silent, the scheduler slot is freed,
+        every piece of in-network state keyed by the session is released
+        (collector chains, tree states, cancel marks, buffered sleeper
+        setups, flood dedup), and the proxy endpoint leaves the channel.
+        Cancelling a rejected, already-cancelled, or completed handle is a
+        no-op — a session that ran to the horizon stays "completed".
+        """
+        if (
+            not handle.accepted
+            or handle.status in (STATUS_CANCELLED, STATUS_COMPLETED)
+            or self._completed
+        ):
+            return
+        assert handle.spec is not None and handle.session is not None
+        key = handle.spec.session_key
+        handle.session.gateway.close()
+        self.workload.scheduler.remove(key)
+        if self.protocol is not None:
+            self.protocol.release_session(*key)
+        if self.np_protocol is not None:
+            self.np_protocol.release_session(*key)
+        self.network.channel.unregister_mobile(handle.session.proxy.node_id)
+        handle.status = STATUS_CANCELLED
+        handle.cancelled_at = self.sim.now
+
+    def run_until(self, t: float) -> None:
+        """Advance the shared kernel to absolute time ``t`` (idempotent)."""
+        if t > self.sim.now:
+            self.sim.run(until=t)
+
+    def run(self) -> None:
+        """Run the world to the service horizon (plus the straggler tail)."""
+        self.run_until(self.duration_s + RUN_TAIL_S)
+        self._completed = True
+
+    def finalize(self) -> WorkloadResult:
+        """Score every admitted session (running to the horizon if needed).
+
+        Cancelled sessions are scored over the periods that elapsed before
+        their cancellation; everything else over the full horizon.
+        """
+        if not self._completed:
+            self.run()
+        sessions = [self._score(h) for h in self.admitted_handles()]
+        for handle in self.admitted_handles():
+            if handle.status == STATUS_ADMITTED:
+                handle.status = STATUS_COMPLETED
+        return WorkloadResult(sessions=sessions)
+
+    def _score(self, handle: SessionHandle) -> SessionResult:
+        assert handle.session is not None and handle.spec is not None
+        duration = self.duration_s
+        if handle.cancelled_at is not None:
+            duration = min(duration, handle.cancelled_at)
+        if handle._result is None:
+            handle._result = handle.session.finalize(
+                self.network,
+                duration,
+                fidelity_threshold=self.config.fidelity_threshold,
+            )
+        return handle._result
+
+    # ------------------------------------------------------------------
+    # Convenience metrics mirrors (the RunResult fields)
+    # ------------------------------------------------------------------
+    @property
+    def events_executed(self) -> int:
+        return self.sim.events_executed
+
+    @property
+    def backbone_size(self) -> int:
+        return len(self.network.active_nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MobiQueryService mode={self.config.mode} seed={self.config.seed} "
+            f"sessions={len(self.handles)} t={self.sim.now:.1f}>"
+        )
+
+
+# Re-exported for the legacy runner's scoring path
+__all__ = [
+    "AdmissionError",
+    "MobiQueryService",
+    "SessionHandle",
+    "RUN_TAIL_S",
+    "STATUS_ADMITTED",
+    "STATUS_CANCELLED",
+    "STATUS_COMPLETED",
+    "STATUS_REJECTED",
+    "make_profile_provider",
+    "make_user_path",
+    "user_stream",
+    "build_session_metrics",
+]

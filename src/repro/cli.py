@@ -4,6 +4,8 @@ Commands:
 
 * ``run`` — one query session with chosen mode/seed/duration; prints the
   per-period summary and an ASCII fidelity strip.
+* ``scenario`` — run a named declarative scenario from the registry (or a
+  JSON file) through the service façade; ``--list`` shows the catalogue.
 * ``fig`` — regenerate one of the paper's figures (4-8) as a table.
 * ``bench`` — time the hot-path scenarios, write ``BENCH_perf.json``, and
   optionally gate against a same-machine baseline report.
@@ -23,6 +25,7 @@ from .experiments.config import (
     MODE_JIT,
     MODE_NP,
     ExperimentConfig,
+    QueryParams,
     paper_section62_config,
 )
 from .experiments.figures import (
@@ -74,6 +77,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.5,
         help="arrival spacing / mean interarrival in seconds (default 2.5)",
     )
+    run_p.add_argument(
+        "--radius",
+        type=float,
+        default=150.0,
+        help="query-area radius Rq in metres (default 150)",
+    )
+    run_p.add_argument(
+        "--period",
+        type=float,
+        default=2.0,
+        help="result period Tperiod in seconds (default 2)",
+    )
+    run_p.add_argument(
+        "--freshness",
+        type=float,
+        default=1.0,
+        help="data-freshness bound Tfresh in seconds (default 1; must "
+        "not exceed the period)",
+    )
+
+    scen_p = sub.add_parser(
+        "scenario", help="run a named declarative scenario via the service API"
+    )
+    scen_p.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="registry name (see --list) — omit with --list or --file",
+    )
+    scen_p.add_argument(
+        "--list", action="store_true", help="show the scenario catalogue"
+    )
+    scen_p.add_argument(
+        "--file", default=None, help="load a ScenarioSpec from a JSON file"
+    )
+    scen_p.add_argument(
+        "--duration", type=float, default=None, help="override the duration (s)"
+    )
+    scen_p.add_argument(
+        "--seed", type=int, default=None, help="override the seed"
+    )
 
     fig_p = sub.add_parser("fig", help="regenerate a paper figure")
     fig_p.add_argument("number", type=int, choices=[4, 5, 6, 7, 8])
@@ -122,6 +166,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             duration_s=args.duration,
             network=NetworkConfig(sleep_period_s=args.sleep_period),
+            query=QueryParams(
+                radius_m=args.radius,
+                period_s=args.period,
+                freshness_s=args.freshness,
+            ),
             num_users=args.users,
             arrival_process=args.arrival,
             arrival_spacing_s=args.spacing,
@@ -162,6 +211,70 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     print("\nfidelity per period:")
     print(render_fidelity_strip(metrics.fidelity_series()))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .api.scenarios import (
+        get_scenario,
+        list_scenarios,
+        load_scenario_file,
+        run_scenario,
+    )
+
+    if args.list:
+        print("available scenarios:\n")
+        for spec in list_scenarios():
+            print(f"  {spec.name:<20} {len(spec.requests):>2} request "
+                  f"template(s), {spec.duration_s:.0f}s")
+            print(f"  {'':<20} {spec.description}")
+        return 0
+    try:
+        if args.file:
+            spec = load_scenario_file(args.file)
+        elif args.name:
+            spec = get_scenario(args.name)
+        else:
+            print(
+                "repro scenario: error: give a scenario name, --file, or --list",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_scenario(spec, duration_s=args.duration, seed=args.seed)
+    except (KeyError, OSError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro scenario: error: {message}", file=sys.stderr)
+        return 2
+    spec = result.scenario
+    print(f"scenario={spec.name} mode={spec.mode} seed={spec.seed} "
+          f"duration={spec.duration_s:.0f}s backbone={result.backbone_size}")
+    if spec.description:
+        print(spec.description)
+    print("\n user  status    start  period  radius  agg    success  fidelity")
+    print(" ----  --------  -----  ------  ------  -----  -------  --------")
+    scored = {s.user_id: s for s in result.workload.sessions}
+    for handle in result.handles:
+        if not handle.accepted:
+            reason = handle.reason or "rejected"
+            print(f"    -  rejected  {'-':>5}  {'-':>6}  {'-':>6}  {'-':<5}"
+                  f"  {reason}")
+            continue
+        spec_u = handle.spec
+        session = scored.get(spec_u.user_id)
+        m = session.metrics if session else None
+        print(f" {spec_u.user_id:>4}  {handle.status:<8}  "
+              f"{spec_u.start_s:4.1f}s  {spec_u.period_s:5.1f}s  "
+              f"{spec_u.radius_m:5.0f}m  {spec_u.aggregation.value:<5}  "
+              f"{m.success_ratio():6.1%}  {m.mean_fidelity():7.1%}"
+              if m else f" {spec_u.user_id:>4}  {handle.status:<8}")
+    print(f"\nadmitted {result.admitted} / {len(result.handles)} sessions"
+          + (f" ({result.rejected} rejected by admission control)"
+             if result.rejected else ""))
+    if result.workload.sessions:
+        print(f"fleet mean success: {result.mean_success:.1%}")
+        print(f"fleet worst user  : {result.min_success:.1%}")
+    print(f"frames on air: {result.frames_sent}, collided receptions: "
+          f"{result.frames_collided}, events: {result.events_executed}")
     return 0
 
 
@@ -304,6 +417,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "fig":
         return _cmd_fig(args)
     if args.command == "bench":

@@ -64,10 +64,43 @@ class NoPrefetchProtocol:
         self._seen: Set[Tuple[int, int, int, int]] = set()
         self._pending_batches: Dict[int, List[NpQueryMessage]] = {}
         self._batch_scheduled: Set[int] = set()
+        #: sessions torn down by the service; in-flight queries are dropped
+        self._dead_sessions: Set[Tuple[int, int]] = set()
         for node in network.nodes:
             node.register_handler("np-query", self._on_query)
             node.register_handler("np-query-batch", self._on_query_batch)
             node.register_handler("np-relay", self._on_relay)
+
+    def release_session(self, user_id: int, query_id: int) -> None:
+        """Drop every per-node trace of one session (cancel/teardown).
+
+        Per-query dedup marks are forgotten and the session's broadcasts
+        are filtered out of pending sleeper batches; report events already
+        scheduled fire into a closed gateway and are ignored there.
+        """
+        session = (user_id, query_id)
+        self._dead_sessions.add(session)
+        self._seen = {
+            key for key in self._seen if (key[1], key[2]) != session
+        }
+        for node_id, pending in list(self._pending_batches.items()):
+            kept = [m for m in pending if (m.user_id, m.query_id) != session]
+            if kept:
+                self._pending_batches[node_id] = kept
+            else:
+                del self._pending_batches[node_id]
+
+    def session_state_count(self, user_id: int, query_id: int) -> int:
+        """Dedup marks + buffered queries one session still holds (tests)."""
+        session = (user_id, query_id)
+        seen = sum(1 for key in self._seen if (key[1], key[2]) == session)
+        buffered = sum(
+            1
+            for pending in self._pending_batches.values()
+            for m in pending
+            if (m.user_id, m.query_id) == session
+        )
+        return seen + buffered
 
     # ------------------------------------------------------------------
     # Query reception
@@ -82,6 +115,8 @@ class NoPrefetchProtocol:
             self._handle_query(node, msg)
 
     def _handle_query(self, node: SensorNode, msg: NpQueryMessage) -> None:
+        if (msg.user_id, msg.query_id) in self._dead_sessions:
+            return
         key = (node.node_id, msg.user_id, msg.query_id, msg.k)
         if key in self._seen:
             return
@@ -149,6 +184,8 @@ class NoPrefetchProtocol:
     # Reporting
     # ------------------------------------------------------------------
     def _respond(self, node: SensorNode, msg: NpQueryMessage) -> None:
+        if (msg.user_id, msg.query_id) in self._dead_sessions:
+            return  # session torn down after this reading was scheduled
         now = self.sim.now
         if now >= msg.deadline:
             return

@@ -74,6 +74,24 @@ class BaseGateway:
         self.sim = network.sim
         self.deliveries: List[DeliveryRecord] = []
         self.last_delivered_k = 0
+        #: set by :meth:`close`; a closed gateway ignores every scheduled
+        #: callback and frame so a cancelled session goes silent immediately
+        self.closed = False
+
+    def close(self) -> None:
+        """Stop the proxy side of the session (cancel/teardown support).
+
+        Pending kernel events owned by the gateway still surface but no-op
+        against the flag; no new traffic, profile adoptions, or delivery
+        records are produced after this call.
+        """
+        self.closed = True
+        self.tracer.emit(
+            "session-closed",
+            self.sim.now,
+            user=self.spec.user_id,
+            query=self.spec.query_id,
+        )
 
     @property
     def user_id(self) -> int:
@@ -186,6 +204,8 @@ class MobiQueryGateway(BaseGateway):
         results, so the gateway re-injects the current profile when two
         consecutive deadlines pass without any delivery.
         """
+        if self.closed:
+            return
         now = self.sim.now
         k_due = self.spec.period_index(now)
         if (
@@ -212,6 +232,8 @@ class MobiQueryGateway(BaseGateway):
     # Profile handling
     # ------------------------------------------------------------------
     def _on_profile(self, profile: MotionProfile) -> None:
+        if self.closed:
+            return
         previous = self.current_profile
         if previous is not None and profile.tg < previous.tg:
             return  # stale: generated from older knowledge than the current
@@ -277,6 +299,8 @@ class MobiQueryGateway(BaseGateway):
         cancel_profile: Optional[MotionProfile],
         attempt: int = 0,
     ) -> None:
+        if self.closed:
+            return
         candidates = self._injection_candidates()
         if not candidates:
             self.sim.schedule(
@@ -332,6 +356,8 @@ class MobiQueryGateway(BaseGateway):
     # Result reception
     # ------------------------------------------------------------------
     def _on_result(self, proxy: MobileEndpoint, frame: Frame) -> None:
+        if self.closed:
+            return
         msg: ResultMessage = frame.payload
         if (msg.user_id, msg.query_id) != self.spec.session_key:
             return
@@ -361,7 +387,15 @@ class NoPrefetchGateway(BaseGateway):
         self.flood = flood
         self._partials: Dict[int, AggregateState] = {}
         self._issue_positions: Dict[int, Vec2] = {}
+        self._flood_ids: List[int] = []
         proxy.register_handler("np-report", self._on_report)
+
+    def close(self) -> None:
+        """Close the gateway and drop the per-flood dedup state it created."""
+        super().close()
+        for flood_id in self._flood_ids:
+            self.flood.release(flood_id)
+        self._flood_ids.clear()
 
     def start(self) -> None:
         """Schedule one query broadcast at the start of every period."""
@@ -370,6 +404,8 @@ class NoPrefetchGateway(BaseGateway):
             self.sim.schedule_at(max(self.sim.now, issue_at), self._issue, k)
 
     def _issue(self, k: int) -> None:
+        if self.closed:
+            return
         position = self.proxy.position
         self._issue_positions[k] = position
         message = NpQueryMessage(
@@ -389,10 +425,13 @@ class NoPrefetchGateway(BaseGateway):
             inner_size=NP_QUERY_SIZE_BYTES,
             active_only=True,
         )
+        self._flood_ids.append(envelope.flood_id)
         self.tracer.emit("np-issue", self.sim.now, k=k)
         self.proxy.send(self.flood.make_frame(self.proxy.node_id, envelope))
 
     def _on_report(self, proxy: MobileEndpoint, frame: Frame) -> None:
+        if self.closed:
+            return
         msg: NpReportMessage = frame.payload
         if (msg.user_id, msg.query_id) != self.spec.session_key:
             return
@@ -424,6 +463,7 @@ class SessionScheduler:
         self.sim = sim
         self._gateways: Dict[Tuple[int, int], BaseGateway] = {}
         self._started: Set[Tuple[int, int]] = set()
+        self._start_events: Dict[Tuple[int, int], object] = {}
 
     def add(self, gateway: BaseGateway) -> None:
         """Register ``gateway`` and schedule its session start."""
@@ -435,10 +475,25 @@ class SessionScheduler:
         if start_s <= self.sim.now:
             self._start(key)
         else:
-            self.sim.schedule_at(start_s, self._start, key)
+            self._start_events[key] = self.sim.schedule_at(start_s, self._start, key)
+
+    def remove(self, key: Tuple[int, int]) -> Optional[BaseGateway]:
+        """Release the scheduler slot for session ``key`` (cancel support).
+
+        A pending start event is cancelled; a session that already started
+        is simply dropped from the table (the caller closes its gateway).
+        Returns the gateway that held the slot, or None if unknown.
+        """
+        gateway = self._gateways.pop(key, None)
+        self._started.discard(key)
+        event = self._start_events.pop(key, None)
+        if event is not None:
+            event.cancel()  # type: ignore[attr-defined]
+        return gateway
 
     def _start(self, key: Tuple[int, int]) -> None:
-        if key in self._started:
+        self._start_events.pop(key, None)
+        if key in self._started or key not in self._gateways:
             return
         self._started.add(key)
         self._gateways[key].start()

@@ -223,14 +223,19 @@ class StorageTracker:
     def __init__(
         self,
         tracer: Tracer,
-        spec: QuerySpec,
+        spec: Optional[QuerySpec] = None,
         specs: Optional[List[QuerySpec]] = None,
     ) -> None:
         self.spec = spec
         # session key -> spec, so each session's period arithmetic uses its
-        # own origin; sessions not listed fall back to ``spec``.
+        # own origin *and its own period length* — a heterogeneous workload
+        # mixes period_s values, and "how many periods ahead" is only
+        # meaningful against the owning session's clock.  Sessions can be
+        # registered up front (``specs``) or as they are admitted
+        # (:meth:`register_spec`, the service path).
         self._spec_by_session: Dict[Tuple[int, int], QuerySpec] = {
-            s.session_key: s for s in (specs or [spec])
+            s.session_key: s
+            for s in (specs if specs is not None else ([spec] if spec else []))
         }
         # (user, query, k) -> assign time; keyed per session so concurrent
         # users on one network cannot clobber each other's chain state.
@@ -243,6 +248,14 @@ class StorageTracker:
         tracer.subscribe("collector-released", self._on_released)
         tracer.subscribe("tree-created", self._on_tree_created)
         tracer.subscribe("tree-released", self._on_tree_released)
+
+    def register_spec(self, spec: QuerySpec) -> None:
+        """Register (or update) one session's spec for period arithmetic.
+
+        The service façade admits sessions while the run is live, so the
+        tracker cannot always know every spec at construction time.
+        """
+        self._spec_by_session[spec.session_key] = spec
 
     @staticmethod
     def _session_key(record: TraceRecord) -> Tuple[int, int, int]:
@@ -268,13 +281,21 @@ class StorageTracker:
         With several sessions live, the reported length is the worst
         (longest) per-session chain — the per-node storage bound the paper
         analyses is per chain.  Each session's "current period" is computed
-        against its own origin (``start_s``); sessions whose spec was not
-        registered fall back to the tracker's primary spec.
+        against its own spec (``start_s`` *and* ``period_s``): under a
+        heterogeneous workload a collector for period ``k`` of a slow
+        session (say ``Tperiod = 5 s``) is much farther in the future than
+        period ``k`` of a fast one, and folding both onto one reference
+        period length (the old single-spec fallback) over- or under-counts
+        the chain.  Sessions with no registered spec fall back to the
+        tracker's primary spec when one was given, else they are skipped
+        (their window cannot be computed).
         """
         per_session: Dict[Tuple[int, int], int] = {}
         for user, query, k in self._live_collectors:
             key = (user, query)
             spec = self._spec_by_session.get(key, self.spec)
+            if spec is None:
+                continue
             if k > spec.period_index(now):
                 per_session[key] = per_session.get(key, 0) + 1
         length = max(per_session.values(), default=0)

@@ -136,6 +136,11 @@ class MobiQueryProtocol:
         self._cancelled_from: Dict[int, Dict[Tuple[int, int, int], int]] = {}
         self._pending_batches: Dict[int, List[SetupMessage]] = {}
         self._batch_scheduled: Set[int] = set()
+        # Sessions torn down by the service (operator cancel): frames of a
+        # dead session still in flight must not resurrect its chain — a
+        # prefetch mid-route would otherwise re-assign a collector and
+        # regrow the whole tree sequence.  One tuple per cancelled session.
+        self._dead_sessions: Set[Tuple[int, int]] = set()
         for node in network.nodes:
             node.register_handler("mq-inject", self._on_inject)
             node.register_handler("mq-prefetch", self._on_prefetch)
@@ -177,6 +182,8 @@ class MobiQueryProtocol:
     # ------------------------------------------------------------------
     def _on_inject(self, node: SensorNode, frame: Frame) -> None:
         msg: InjectMessage = frame.payload
+        if msg.spec.session_key in self._dead_sessions:
+            return
         self.tracer.emit(
             "inject",
             self.sim.now,
@@ -246,6 +253,8 @@ class MobiQueryProtocol:
     def _on_prefetch(self, node: SensorNode, frame: Frame) -> None:
         msg: PrefetchMessage = frame.payload
         spec, profile, k = msg.spec, msg.profile, msg.k
+        if spec.session_key in self._dead_sessions:
+            return
         now = self.sim.now
         if self._is_cancelled(
             node.node_id, spec.user_id, spec.query_id, profile.generation, k
@@ -353,6 +362,8 @@ class MobiQueryProtocol:
             self._handle_setup(node, setup, src_id=frame.src)
 
     def _handle_setup(self, node: SensorNode, setup: SetupMessage, src_id: int) -> None:
+        if (setup.user_id, setup.query_id) in self._dead_sessions:
+            return
         key = (node.node_id, setup.user_id, setup.query_id, setup.k)
         existing = self._tree_states.get(key)
         if existing is not None:
@@ -794,6 +805,44 @@ class MobiQueryProtocol:
             query=spec.query_id,
             user=spec.user_id,
         )
+
+    def release_session(self, user_id: int, query_id: int) -> None:
+        """Tear down every piece of in-network state one session owns.
+
+        Service-level cancellation (the user hung up, or an operator evicted
+        the session): collectors are released with their timers, tree states
+        are dropped node by node (each emitting ``tree-released`` so storage
+        accounting stays exact), cancel marks are forgotten, and buffered
+        sleeper setups are filtered out of pending PSM batches.  The
+        in-protocol cancel *chase* (phase 4) still handles the paper's
+        profile-replacement case; this is the operator's backstop, executed
+        with the service's global knowledge rather than by message passing.
+
+        Leaf wake overrides already installed in sleep schedulers are left
+        to expire on their own — they are bounded by one freshness window
+        and cannot be attributed to a session after installation.
+        """
+        session = (user_id, query_id)
+        self._dead_sessions.add(session)
+        for key in [k for k in self._collectors if k[0] == user_id and k[1] == query_id]:
+            self._release_collector(self._collectors[key], reason="session-released")
+        for key in [
+            k
+            for k, state in self._tree_states.items()
+            if state.session_key == session
+        ]:
+            self._gc_tree_state(key)
+        for marks in self._cancelled_from.values():
+            for gen_key in [k for k in marks if (k[0], k[1]) == session]:
+                del marks[gen_key]
+        for node_id, setups in list(self._pending_batches.items()):
+            kept = [
+                s for s in setups if (s.user_id, s.query_id) != session
+            ]
+            if kept:
+                self._pending_batches[node_id] = kept
+            else:
+                del self._pending_batches[node_id]
 
     # ------------------------------------------------------------------
     # Introspection (tests, metrics)

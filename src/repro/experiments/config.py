@@ -35,13 +35,26 @@ _PROFILE_MODES = (PROFILE_FULL, PROFILE_PLANNER, PROFILE_PREDICTOR)
 
 @dataclass(frozen=True)
 class QueryParams:
-    """User-facing query parameters (the paper's Section 6.1 defaults)."""
+    """Query parameters shared by every user of a legacy experiment run.
+
+    The experiment era had one frozen parameter set per run; the service
+    API (:class:`repro.api.QueryRequest`) carries the same six-tuple *per
+    request* instead, and this class survives as the homogeneous default
+    the figure harness feeds through the adapter.
+    """
 
     attribute: str = "temperature"
     aggregation: Aggregation = Aggregation.AVG
     radius_m: float = 150.0
     period_s: float = 2.0
     freshness_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        # Same one-line rejections as the service boundary (imported
+        # lazily: repro.api depends on this module).
+        from ..api.requests import validate_query_params
+
+        validate_query_params(self.radius_m, self.period_s, self.freshness_s)
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,10 @@ hope.  Two canonical scenarios are timed end to end:
 * ``scale_16users`` — the 16-user point of the multi-user scaling
   benchmark (staggered arrivals, fleet-sized query areas): the multi-user
   hot path that bounds how far the concurrency axis can be pushed.
+* ``hetero_mix_8users`` — the ``heterogeneous-mix`` scenario through the
+  service façade (8 users, mixed periods/radii/aggregations): the
+  per-request API code path, so a service-layer regression cannot hide
+  behind the legacy adapter.
 
 ``run_perf_suite`` measures wall-clock and events/second (min over
 ``repeats`` runs — the minimum is the most noise-robust statistic on a
@@ -72,6 +76,13 @@ QUICK_FINGERPRINTS: Dict[str, Dict[str, int]] = {
         "frames_sent": 20106,
         "frames_collided": 18356,
     },
+    # captured when the service façade landed (the scenario runs through
+    # MobiQueryService.submit, not the legacy adapter)
+    "hetero_mix_8users": {
+        "events_executed": 238732,
+        "frames_sent": 13482,
+        "frames_collided": 11614,
+    },
 }
 
 
@@ -88,13 +99,20 @@ class PerfSample:
     mean_success: float
 
 
-def perf_scenarios(scale: Optional[str] = None) -> Dict[str, ExperimentConfig]:
-    """The canonical hot-path scenarios for ``scale`` (quick|paper)."""
+def perf_scenarios(scale: Optional[str] = None) -> Dict[str, object]:
+    """The canonical hot-path scenarios for ``scale`` (quick|paper).
+
+    Values are either an :class:`ExperimentConfig` (run through the legacy
+    adapter) or a :class:`~repro.api.scenarios.ScenarioSpec` (run through
+    the service façade); :func:`measure_scenario` dispatches on type.
+    """
+    from ..api.scenarios import get_scenario
+
     scale = scale or bench_scale()
     if scale == SCALE_PAPER:
-        fig4_duration, fleet_duration = 400.0, 300.0
+        fig4_duration, fleet_duration, hetero_duration = 400.0, 300.0, 300.0
     else:
-        fig4_duration, fleet_duration = 150.0, 120.0
+        fig4_duration, fleet_duration, hetero_duration = 150.0, 120.0, 120.0
     fleet = ExperimentConfig(
         mode=MODE_JIT,
         seed=1,
@@ -110,10 +128,34 @@ def perf_scenarios(scale: Optional[str] = None) -> Dict[str, ExperimentConfig]:
             duration_s=fig4_duration,
         ),
         "scale_16users": fleet,
+        "hetero_mix_8users": get_scenario("heterogeneous-mix").with_overrides(
+            duration_s=hetero_duration
+        ),
     }
 
 
-def measure_scenario(name: str, config: ExperimentConfig, repeats: int = 1) -> PerfSample:
+def _run_once(config) -> tuple:
+    """Run one scenario object; returns (events, sent, collided, mean)."""
+    if isinstance(config, ExperimentConfig):
+        result = run_experiment(config)
+        return (
+            result.events_executed,
+            result.frames_sent,
+            result.frames_collided,
+            result.mean_user_success_ratio,
+        )
+    from ..api.scenarios import run_scenario
+
+    scenario = run_scenario(config)
+    return (
+        scenario.events_executed,
+        scenario.frames_sent,
+        scenario.frames_collided,
+        scenario.mean_success,
+    )
+
+
+def measure_scenario(name: str, config, repeats: int = 1) -> PerfSample:
     """Run ``config`` ``repeats`` times; keep the fastest wall-clock."""
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -121,19 +163,20 @@ def measure_scenario(name: str, config: ExperimentConfig, repeats: int = 1) -> P
     result = None
     for _ in range(repeats):
         started = time.perf_counter()
-        result = run_experiment(config)
+        result = _run_once(config)
         wall = time.perf_counter() - started
         if wall < best_wall:
             best_wall = wall
     assert result is not None
+    events, sent, collided, mean_success = result
     return PerfSample(
         scenario=name,
         wall_s=round(best_wall, 4),
-        events_executed=result.events_executed,
-        events_per_sec=round(result.events_executed / best_wall, 1),
-        frames_sent=result.frames_sent,
-        frames_collided=result.frames_collided,
-        mean_success=round(result.mean_user_success_ratio, 6),
+        events_executed=events,
+        events_per_sec=round(events / best_wall, 1),
+        frames_sent=sent,
+        frames_collided=collided,
+        mean_success=round(mean_success, 6),
     )
 
 

@@ -1,65 +1,61 @@
-"""Experiment runner: build a world from a config, run it, score it.
+"""Experiment runner: the legacy harness as a thin adapter over the API.
 
-``run_experiment`` is the one entry point every figure module and example
-uses: it assembles the kernel, network, CCP backbone, routing/flooding,
-the requested service variant and the user's mobility + profile pipeline,
-runs the session, and returns a :class:`RunResult` bundling all metrics.
+``run_experiment`` is the entry point every figure module uses.  Since the
+service façade (:mod:`repro.api`) landed it no longer assembles the world
+itself: it builds a :class:`~repro.api.service.MobiQueryService` from the
+:class:`ExperimentConfig`, submits one :class:`~repro.api.requests.
+QueryRequest` per configured user (all sharing the config's ``query``
+parameters — the historical homogeneous workload), runs to the horizon and
+repackages the scores as a :class:`RunResult`.
 
-Since the multi-user workload engine landed, a config with ``num_users``
-> 1 spawns that many concurrent user sessions on the *same* network: one
-shared protocol instance, one kernel, N proxies/paths/gateways started
-per the configured arrival process.  ``num_users=1`` reproduces the
-paper's single-user runs exactly (same RNG streams, same results).
+The adapter is deliberately bit-identical to the pre-API runner: the same
+RNG streams are consumed in the same per-user order and the same kernel
+events are scheduled in the same sequence, so the golden determinism
+tests (`tests/test_golden_determinism.py`) and the pinned perf
+fingerprints hold across the redesign.  New code that wants
+heterogeneous per-user queries, admission control, streaming results or
+cancellation should use :class:`~repro.api.service.MobiQueryService`
+directly — this module remains for the paper-figure reproduction paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..core.baseline import NoPrefetchProtocol
-from ..core.metrics import (
-    ContentionTracker,
-    PowerReport,
-    SessionMetrics,
-    StorageTracker,
-    measure_power,
+from ..api.requests import QueryRequest
+from ..api.service import (
+    RUN_TAIL_S,
+    MobiQueryService,
+    make_profile_provider,
+    make_user_path,
+    user_stream,
 )
-from ..core.query import QuerySpec
-from ..core.service import MobiQueryConfig, MobiQueryProtocol
-from ..geometry.vec import Vec2
-from ..mobility.gps import GpsModel
-from ..mobility.models import random_direction_path
-from ..mobility.path import PiecewisePath
-from ..mobility.planner import FullKnowledgeProvider, PlannerProfileProvider
-from ..mobility.predictor import HistoryPredictorProvider
-from ..mobility.profile import ProfileProvider
-from ..net.flooding import FloodManager
-from ..net.network import build_network
-from ..net.routing import GeoRouter
-from ..power.ccp import CcpProtocol
-from ..sim.kernel import Simulator
-from ..sim.rng import RandomStreams
-from ..sim.trace import Tracer
+from ..core.metrics import PowerReport, SessionMetrics, measure_power
 from ..workload.arrivals import arrival_times
-from ..workload.engine import Workload, WorkloadResult
-from ..workload.session import PROXY_ID_BASE, SessionResult, UserPlan
-from .config import (
-    MODE_GREEDY,
-    MODE_IDLE,
-    MODE_JIT,
-    MODE_NP,
-    PROFILE_FULL,
-    PROFILE_PLANNER,
-    PROFILE_PREDICTOR,
-    ExperimentConfig,
-)
+from ..workload.engine import WorkloadResult
+from ..workload.session import PROXY_ID_BASE, SessionResult
+from ..sim.rng import RandomStreams
+from .config import MODE_IDLE, ExperimentConfig
 
 #: node id assigned to user 0's proxy endpoint (user ``u`` gets base + u)
 PROXY_NODE_ID = PROXY_ID_BASE
 
-#: extra simulated time after the last deadline (late stragglers, GC)
-RUN_TAIL_S = 0.5
+# Backwards-compatible aliases: these helpers lived here before the API
+# package became the primary surface.
+_user_stream = user_stream
+_make_user_path = make_user_path
+_make_profile_provider = make_profile_provider
+
+__all__ = [
+    "PROXY_NODE_ID",
+    "RUN_TAIL_S",
+    "RunResult",
+    "run_experiment",
+    "run_replications",
+    "run_replications_parallel",
+    "mean_success_ratio",
+]
 
 
 @dataclass
@@ -109,93 +105,58 @@ class RunResult:
         return self.workload.min_success_ratio()
 
 
+def _legacy_requests(config: ExperimentConfig, streams: RandomStreams) -> List[QueryRequest]:
+    """One request per configured user: the homogeneous experiment workload.
+
+    Every user shares ``config.query``; start times come from the
+    configured arrival process, validated so each session keeps at least
+    one serviceable period (the historical error message).
+    """
+    starts = arrival_times(
+        config.num_users,
+        process=config.arrival_process,
+        spacing_s=config.arrival_spacing_s,
+        rng=streams.stream("arrivals"),
+    )
+    latest = config.duration_s - config.query.period_s
+    for user_id, start in enumerate(starts):
+        if start > latest:
+            raise ValueError(
+                f"user {user_id} arrives at {start:.1f}s but the run ends at "
+                f"{config.duration_s:.1f}s — no serviceable period left; "
+                f"shorten the arrival spacing or lengthen the run"
+            )
+    return [
+        QueryRequest(
+            attribute=config.query.attribute,
+            aggregation=config.query.aggregation,
+            radius_m=config.query.radius_m,
+            period_s=config.query.period_s,
+            freshness_s=config.query.freshness_s,
+            start_s=starts[user_id],
+            user_id=user_id,
+        )
+        for user_id in range(config.num_users)
+    ]
+
+
 def run_experiment(config: ExperimentConfig) -> RunResult:
     """Run one full session (or N concurrent ones) described by ``config``."""
-    sim = Simulator()
-    streams = RandomStreams(config.seed)
-    tracer = Tracer()
-    # De-align the shared beacon schedule from the query start: real users
-    # issue queries at arbitrary phases of the PSM cycle.
-    psm_offset = float(
-        streams.stream("psm").uniform(0.0, config.network.sleep_period_s)
-    )
-    network_config = replace(config.network, psm_offset_s=psm_offset)
-    network = build_network(sim, network_config, streams, tracer)
-    CcpProtocol().apply(network, streams)
-    geo = GeoRouter(network)
-    flood = FloodManager(network)
-
-    workload = Workload(network, tracer)
-    storage: Optional[StorageTracker] = None
-    contention: Optional[ContentionTracker] = None
-    if config.mode != MODE_IDLE:
-        starts = _arrival_schedule(config, streams)
-        paths = [
-            _make_user_path(config, streams, user_id)
-            for user_id in range(config.num_users)
-        ]
-        specs = [
-            _make_spec(config, user_id, starts[user_id])
-            for user_id in range(config.num_users)
-        ]
-        if config.mode in (MODE_JIT, MODE_GREEDY):
-            protocol = MobiQueryProtocol(
-                network,
-                geo,
-                MobiQueryConfig(
-                    prefetch_policy=config.mode,
-                    pickup_radius_m=config.pickup_radius_m,
-                    parent_upgrade=config.parent_upgrade,
-                    redeliver_setups=config.redeliver_setups,
-                ),
-                tracer,
-            )
-            storage = StorageTracker(tracer, specs[0], specs=specs)
-            contention = ContentionTracker(
-                tracer,
-                sleep_period_s=config.network.sleep_period_s,
-                active_window_s=config.network.active_window_s,
-                query_radius_m=config.query.radius_m,
-                comm_range_m=config.network.comm_range_m,
-                psm_offset_s=psm_offset,
-            )
-            for user_id in range(config.num_users):
-                plan = UserPlan(
-                    user_id=user_id,
-                    spec=specs[user_id],
-                    path=paths[user_id],
-                    provider=_make_profile_provider(
-                        config, paths[user_id], streams, user_id
-                    ),
-                )
-                workload.add_mobiquery_user(
-                    plan, protocol, rng=streams.stream(_user_stream("proxy", user_id))
-                )
-        elif config.mode == MODE_NP:
-            np_protocol = NoPrefetchProtocol(network, geo, flood, tracer=tracer)
-            for user_id in range(config.num_users):
-                plan = UserPlan(
-                    user_id=user_id, spec=specs[user_id], path=paths[user_id]
-                )
-                workload.add_noprefetch_user(
-                    plan,
-                    np_protocol,
-                    flood,
-                    rng=streams.stream(_user_stream("proxy", user_id)),
-                )
-        else:  # pragma: no cover - config validation guarantees the set
-            raise ValueError(f"unhandled mode {config.mode!r}")
-
-    sim.run(until=config.duration_s + RUN_TAIL_S)
-
+    service = MobiQueryService(config)
     sessions: List[SessionResult] = []
     metrics = None
-    if workload.sessions:
-        result = workload.finalize(
-            config.duration_s, fidelity_threshold=config.fidelity_threshold
-        )
+    if config.mode != MODE_IDLE:
+        for request in _legacy_requests(config, service.streams):
+            service.submit(request).require_admitted()
+        result = service.finalize()
         sessions = result.sessions
-        metrics = sessions[0].metrics
+        if sessions:
+            metrics = sessions[0].metrics
+    else:
+        service.run()
+    network = service.network
+    storage = service.storage
+    contention = service.contention
     return RunResult(
         config=config,
         metrics=metrics,
@@ -206,7 +167,7 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         interference_length=contention.interference_length() if contention else 0,
         frames_sent=network.channel.frames_sent,
         frames_collided=network.channel.frames_collided,
-        events_executed=sim.events_executed,
+        events_executed=service.sim.events_executed,
         frames_delivered=network.channel.frames_delivered,
         sessions=sessions,
     )
@@ -263,104 +224,3 @@ def mean_success_ratio(results: List[RunResult]) -> float:
     if not results:
         return 0.0
     return sum(r.success_ratio for r in results) / len(results)
-
-
-# ----------------------------------------------------------------------
-# Pieces
-# ----------------------------------------------------------------------
-def _user_stream(base: str, user_id: int) -> str:
-    """Stream name for a per-user random source.
-
-    User 0 keeps the historical un-suffixed names so ``num_users=1`` runs
-    consume exactly the same random sequences as before the multi-user
-    engine existed (bit-for-bit reproducibility of the paper figures).
-    """
-    return base if user_id == 0 else f"{base}.u{user_id}"
-
-
-def _arrival_schedule(config: ExperimentConfig, streams: RandomStreams) -> List[float]:
-    """Session start times; every user must keep >= 1 serviceable period."""
-    starts = arrival_times(
-        config.num_users,
-        process=config.arrival_process,
-        spacing_s=config.arrival_spacing_s,
-        rng=streams.stream("arrivals"),
-    )
-    latest = config.duration_s - config.query.period_s
-    for user_id, start in enumerate(starts):
-        if start > latest:
-            raise ValueError(
-                f"user {user_id} arrives at {start:.1f}s but the run ends at "
-                f"{config.duration_s:.1f}s — no serviceable period left; "
-                f"shorten the arrival spacing or lengthen the run"
-            )
-    return starts
-
-
-def _make_spec(config: ExperimentConfig, user_id: int, start_s: float) -> QuerySpec:
-    """One user's query spec: session runs from arrival to the run end."""
-    return QuerySpec(
-        attribute=config.query.attribute,
-        aggregation=config.query.aggregation,
-        radius_m=config.query.radius_m,
-        period_s=config.query.period_s,
-        freshness_s=config.query.freshness_s,
-        lifetime_s=config.duration_s - start_s,
-        user_id=user_id,
-        start_s=start_s,
-    )
-
-
-def _make_user_path(
-    config: ExperimentConfig, streams: RandomStreams, user_id: int = 0
-) -> PiecewisePath:
-    """The paper's user motion: random-direction from the region corner.
-
-    User 0 starts at the corner exactly as in the paper; later users start
-    at an independent uniform position inside the margin-inset region (a
-    fleet piling onto one corner would measure MAC contention at a single
-    cell, not the service).
-    """
-    region = config.network.region
-    rng = streams.stream(_user_stream("mobility", user_id))
-    if user_id == 0:
-        start = Vec2(
-            region.x_min + config.mobility.margin_m,
-            region.y_min + config.mobility.margin_m,
-        )
-    else:
-        margin = config.mobility.margin_m
-        start = Vec2(
-            float(rng.uniform(region.x_min + margin, region.x_max - margin)),
-            float(rng.uniform(region.y_min + margin, region.y_max - margin)),
-        )
-    return random_direction_path(
-        region=region,
-        duration_s=config.duration_s,
-        config=config.mobility,
-        rng=rng,
-        start=start,
-    )
-
-
-def _make_profile_provider(
-    config: ExperimentConfig,
-    true_path: PiecewisePath,
-    streams: RandomStreams,
-    user_id: int = 0,
-) -> ProfileProvider:
-    if config.profile_mode == PROFILE_FULL:
-        return FullKnowledgeProvider(true_path, config.duration_s)
-    if config.profile_mode == PROFILE_PLANNER:
-        return PlannerProfileProvider(
-            true_path, config.duration_s, advance_time_s=config.advance_time_s
-        )
-    if config.profile_mode == PROFILE_PREDICTOR:
-        return HistoryPredictorProvider(
-            true_path,
-            config.duration_s,
-            gps=GpsModel(max_error_m=config.gps_error_m),
-            rng=streams.stream(_user_stream("gps", user_id)),
-            sampling_period_s=config.sampling_period_s,
-        )
-    raise ValueError(f"unhandled profile mode {config.profile_mode!r}")

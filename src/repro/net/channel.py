@@ -182,6 +182,15 @@ class Channel:
             raise ValueError(f"endpoint {endpoint.node_id} already registered")
         self._mobile[endpoint.node_id] = endpoint
 
+    def unregister_mobile(self, node_id: int) -> None:
+        """Remove a mobile endpoint (its user's session was cancelled).
+
+        Future transmissions no longer reach it; receptions already in
+        flight hold a direct endpoint reference and resolve normally.
+        Unknown ids are ignored so teardown is idempotent.
+        """
+        self._mobile.pop(node_id, None)
+
     def endpoint(self, node_id: int) -> ChannelEndpoint:
         """Look up a registered endpoint by id."""
         ep = self._static.get(node_id) or self._mobile.get(node_id)

@@ -54,6 +54,10 @@ class FloodManager:
         self.network = network
         self.tracer = tracer if tracer is not None else network.tracer
         self._seen: Dict[int, Set[int]] = {}
+        # Floods torn down via release(): frames still in flight must be
+        # dropped, not treated as a brand-new flood (setdefault in _accept
+        # would otherwise restart the relay wave and leak a dedup entry).
+        self._released: Set[int] = set()
         for node in network.nodes:
             node.register_handler(self.FRAME_KIND, self._on_frame)
 
@@ -107,6 +111,20 @@ class FloodManager:
         """Track an externally created envelope (proxy-originated flood)."""
         self._seen.setdefault(envelope.flood_id, set())
 
+    def release(self, flood_id: int) -> None:
+        """Drop the dedup state of one flood (session cancel/teardown).
+
+        The flood is also marked dead: frames of it still in flight (or
+        rebroadcast events still pending) are discarded on arrival instead
+        of restarting the relay wave.  One integer per released flood.
+        """
+        self._seen.pop(flood_id, None)
+        self._released.add(flood_id)
+
+    def live_flood_count(self) -> int:
+        """Floods with dedup state still held (tests, teardown assertions)."""
+        return len(self._seen)
+
     # ------------------------------------------------------------------
     # Flood engine
     # ------------------------------------------------------------------
@@ -115,6 +133,8 @@ class FloodManager:
         self._accept(node, envelope)
 
     def _accept(self, node: SensorNode, envelope: FloodEnvelope) -> None:
+        if envelope.flood_id in self._released:
+            return  # torn down; a straggler frame must not re-seed the flood
         seen = self._seen.setdefault(envelope.flood_id, set())
         if node.node_id in seen:
             return
@@ -128,6 +148,8 @@ class FloodManager:
         node.sim.schedule(jitter, self._rebroadcast, node, envelope)
 
     def _rebroadcast(self, node: SensorNode, envelope: FloodEnvelope) -> None:
+        if envelope.flood_id in self._released:
+            return
         if node.radio.is_sleeping:
             return
         node.send(self.make_frame(node.node_id, envelope))

@@ -97,6 +97,45 @@ class TestStorageTracker:
         tracer.emit("collector-assigned", 2.5, k=9)
         assert tracker.max_prefetch_length == 1
 
+    def test_heterogeneous_periods_use_each_sessions_own_clock(self):
+        """Mixed period lengths: prefetch windows computed per session.
+
+        A fast user (Tperiod=2 s, origin 0) and a slow user (Tperiod=5 s,
+        origin 3 s) hold collectors at the same ``k`` values.  At t=11 the
+        fast user is in period 5, so k=6,7 are 2 ahead; the slow user is in
+        period 1, so k=2..4 are 3 ahead.  The old single-period fallback
+        folded the slow user onto the fast spec's clock (period_index(11)
+        = 5) and would have counted 0 for it.
+        """
+        tracer = Tracer()
+        fast = QuerySpec(period_s=2.0, lifetime_s=40.0, user_id=0)
+        slow = QuerySpec(period_s=5.0, lifetime_s=35.0, user_id=1, start_s=3.0)
+        tracker = StorageTracker(tracer, fast, specs=[fast, slow])
+        for k in (6, 7):
+            tracer.emit(
+                "collector-assigned", 11.0, k=k, user=0, query=fast.query_id
+            )
+        assert tracker.max_prefetch_length == 2
+        for k in (2, 3, 4):
+            tracer.emit(
+                "collector-assigned", 11.0, k=k, user=1, query=slow.query_id
+            )
+        # worst chain is now the slow user's: k=2,3,4 vs current period 1
+        assert tracker.max_prefetch_length == 3
+
+    def test_register_spec_after_construction(self):
+        """The service admits sessions mid-run; specs register dynamically."""
+        tracer = Tracer()
+        tracker = StorageTracker(tracer)
+        late = QuerySpec(period_s=4.0, lifetime_s=40.0, user_id=7, start_s=2.0)
+        # Unregistered session with no fallback spec: skipped, not crashed.
+        tracer.emit("collector-assigned", 3.0, k=5, user=7, query=late.query_id)
+        assert tracker.max_prefetch_length == 0
+        tracker.register_spec(late)
+        tracer.emit("collector-assigned", 3.1, k=6, user=7, query=late.query_id)
+        # t=3.1 is period 0 of the late session; k=5 and k=6 are both ahead
+        assert tracker.max_prefetch_length == 2
+
     def test_tree_state_peak(self):
         tracer = Tracer()
         tracker = StorageTracker(tracer, QuerySpec(period_s=2.0, lifetime_s=40.0))
