@@ -4,6 +4,8 @@
 #   make bench-smoke     the two CI benchmark smokes (fig4 + multi-user scaling)
 #   make bench           every benchmark (regenerates all paper figures, slow)
 #   make bench-perf      time the hot paths and write BENCH_perf.json
+#   make perf-gate       re-measure and fail on >20% events/sec regression
+#   make profile         cProfile one bench scenario (SCENARIO=..., ARGS=...)
 #   make examples-smoke  run every examples/ script at quick scale
 #   make check           what CI runs on every push
 
@@ -12,7 +14,10 @@ PY ?= python
 #: quick-scale duration (seconds) the examples smoke runs at
 EXAMPLE_SMOKE_DURATION ?= 30
 
-.PHONY: test bench bench-smoke bench-perf examples-smoke check
+#: default scenario for `make profile`
+SCENARIO ?= scale_16users
+
+.PHONY: test bench bench-smoke bench-perf perf-gate profile examples-smoke check
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q tests/
@@ -34,5 +39,17 @@ bench:
 #   make bench-perf PERF_ARGS="--baseline BENCH_perf.json"
 bench-perf:
 	PYTHONPATH=src $(PY) -m repro bench --scale quick --output BENCH_perf.json $(PERF_ARGS)
+
+# Re-measure against the committed BENCH_perf.json without overwriting it
+# (what CI's perf-smoke job runs): >20% events/sec regression fails.
+perf-gate:
+	cp BENCH_perf.json /tmp/bench_baseline.json
+	PYTHONPATH=src $(PY) -m repro bench --scale quick \
+		--output /tmp/bench_fresh.json --baseline /tmp/bench_baseline.json
+
+# One-command cProfile of a canonical scenario (the ROADMAP recipe):
+#   make profile SCENARIO=fig4_jit ARGS="--sort cumtime --top 40"
+profile:
+	PYTHONPATH=src $(PY) -m repro profile $(SCENARIO) $(ARGS)
 
 check: test bench-smoke examples-smoke

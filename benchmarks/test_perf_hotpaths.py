@@ -2,22 +2,33 @@
 
 Times the canonical scenarios (the fig4 single-user setting, the 16-user
 scaling point, and the heterogeneous-mix service-façade run), writes
-``BENCH_perf.json`` at the repo root, and enforces two properties:
+``BENCH_perf.json`` at the repo root, and enforces three properties:
 
-* **Determinism** (always): each scenario's event and frame counts must
-  equal the pinned quick-scale fingerprints — a perf "win" that changes
-  what the simulation computes fails here.
+* **Determinism** (always): each scenario's result fingerprint (frame
+  counts, mean success) and event-count fingerprint must equal the pinned
+  quick-scale values — a perf "win" that changes what the simulation
+  computes fails here, and one that repacks kernel events must re-pin
+  ``EVENT_FINGERPRINTS`` deliberately.
+* **Event structure** (always): reception end-of-airtime kernel events
+  scale O(frames), not O(frames x listeners) — the batching contract of
+  the reception pipeline, asserted by a direct event census below.
 * **No regression** (opt-in): when ``REPRO_PERF_BASELINE`` points at a
-  BENCH_perf.json previously written *on the same machine*, events/sec
-  may not drop more than 20% below it.  Wall-clock across different CI
-  machines is not comparable, so the cross-run gate stays opt-in; CI
-  uploads the fresh report as an artifact instead, building the repo's
-  perf trajectory.
+  BENCH_perf.json previously written elsewhere, events/sec may not drop
+  more than ``REPRO_PERF_THRESHOLD`` (default 20%) below it.  Same
+  machine: use the strict default (``make perf-gate``).  CI diffs the
+  fresh measurement against the committed report (copied aside first —
+  the run overwrites ``BENCH_perf.json``) with a widened threshold,
+  because the committed numbers come from a different machine and
+  per-core runner speed routinely varies by tens of percent; the wide
+  gate still catches structural regressions (the O(overrides^2) PSM
+  chain this PR removed was a 3-5x events/sec swing).
 
-The recorded pre-PR baseline (see ``PRE_PR_BASELINE`` in
-``repro.experiments.perf``) documents the overhaul this harness landed
-with: 2.1-2.7x on both scenarios (machine-noise window decides where in
-that range a given run lands), with identical results.
+The recorded pre-PR baselines (see ``PRE_PR_BASELINE`` in
+``repro.experiments.perf``) document the overhaul trajectory: PR 2's
+inlining pass (2.1-2.7x) and PR 4's batched reception pipeline + PSM
+wake-wheel (a further ~2x wall-clock with ~83% fewer kernel events and
+bit-identical results; events/sec is NOT comparable across that pin
+because each remaining event does far more work).
 """
 
 import json
@@ -34,6 +45,12 @@ from repro.experiments.perf import (
     run_perf_suite,
     write_report,
 )
+from repro.geometry.vec import Vec2
+from repro.net.channel import Channel
+from repro.net.node import SensorNode
+from repro.net.packet import BROADCAST, Frame
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
@@ -59,10 +76,66 @@ def test_perf_hotpaths(once, emit):
     mismatches = fingerprint_mismatches(report)
     assert not mismatches, "\n".join(mismatches)
 
-    # Opt-in regression gate against a same-machine reference report.
+    # Opt-in regression gate against a reference report; threshold
+    # overridable for cross-machine comparisons (see module docstring).
     baseline_path = os.environ.get("REPRO_PERF_BASELINE")
     if baseline_path:
+        threshold = float(
+            os.environ.get("REPRO_PERF_THRESHOLD", REGRESSION_THRESHOLD)
+        )
         regressions = check_regressions(
-            report, load_report(baseline_path), threshold=REGRESSION_THRESHOLD
+            report, load_report(baseline_path), threshold=threshold
         )
         assert not regressions, "\n".join(regressions)
+
+
+def _census_run(n_nodes: int, frames: int):
+    """Drive ``frames`` broadcasts through one MAC on an ``n_nodes`` clique
+    and count end-of-airtime events as they are scheduled."""
+    sim = Simulator()
+    channel = Channel(sim, comm_range=105.0, bitrate_bps=2e6)
+    streams = RandomStreams(11)
+    nodes = []
+    for i in range(n_nodes):
+        # 2 m spacing: every node hears every frame (maximal cohort).
+        node = SensorNode(i, Vec2(2.0 * i, 0.0), sim, channel,
+                         streams.stream(f"mac-{i}"))
+        channel.register_static(node)
+        nodes.append(node)
+    finish_events = 0
+    original = sim.schedule_fast
+
+    def counting_schedule_fast(delay, fn, *args):
+        nonlocal finish_events
+        if getattr(fn, "__name__", "") == "_finish_transmission":
+            finish_events += 1
+        original(delay, fn, *args)
+
+    sim.schedule_fast = counting_schedule_fast  # type: ignore[method-assign]
+    for _ in range(frames):
+        nodes[0].send(Frame("census", 0, BROADCAST, 200))
+    sim.run(until=30.0)
+    assert channel.frames_sent == frames
+    assert channel.frames_delivered == frames * (n_nodes - 1)
+    return finish_events, sim.events_executed
+
+
+def test_reception_events_scale_with_frames_not_listeners():
+    """The batching contract: ONE end-of-airtime kernel event per frame,
+    and total kernel events independent of the listener-cohort size.
+
+    Before the batch pipeline a frame's receiver-side work was at least
+    proportional to listeners in allocated objects; this census pins the
+    event-count side: a 20-listener clique costs exactly the same kernel
+    events as a 6-listener one for the same frame sequence.
+    """
+    frames = 40
+    finish_small, events_small = _census_run(6, frames)
+    finish_large, events_large = _census_run(20, frames)
+    assert finish_small == frames  # O(frames), not O(frames x listeners)
+    assert finish_large == frames
+    assert events_small == events_large
+    # Per broadcast frame: one MAC attempt + one end-of-airtime batch
+    # event (the MAC completion rides the latter).  Everything beyond that
+    # would be per-listener leakage.
+    assert events_small <= 2 * frames

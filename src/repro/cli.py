@@ -9,6 +9,9 @@ Commands:
 * ``fig`` — regenerate one of the paper's figures (4-8) as a table.
 * ``bench`` — time the hot-path scenarios, write ``BENCH_perf.json``, and
   optionally gate against a same-machine baseline report.
+* ``profile`` — run one bench scenario under cProfile, dump the raw
+  profile, and print the top-N hot functions (the ROADMAP profiling
+  recipe as one command).
 * ``analysis`` — print the Section 5 closed-form tables (paper vs ours).
 * ``topology`` — render the sensor field, backbone and user path.
 """
@@ -149,6 +152,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.20,
         help="allowed fractional events/sec regression vs --baseline (default 0.20)",
+    )
+
+    prof_p = sub.add_parser(
+        "profile", help="profile a bench scenario with cProfile"
+    )
+    prof_p.add_argument(
+        "scenario",
+        help="canonical scenario name (as in `repro bench`), e.g. fig4_jit",
+    )
+    prof_p.add_argument("--scale", choices=["quick", "paper"], default="quick")
+    prof_p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override the scenario duration in seconds (quick looks)",
+    )
+    prof_p.add_argument(
+        "--sort",
+        default="tottime",
+        help="pstats sort key (default tottime; e.g. cumtime, ncalls)",
+    )
+    prof_p.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="how many functions to print (default 25)",
+    )
+    prof_p.add_argument(
+        "--out",
+        default=None,
+        help="where to dump the raw profile (default /tmp/repro_prof.out)",
     )
 
     sub.add_parser("analysis", help="Section 5 closed-form tables")
@@ -363,6 +397,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import pstats
+
+    from .experiments.perf import DEFAULT_PROFILE_PATH, profile_scenario
+
+    out_path = args.out or DEFAULT_PROFILE_PATH
+    if args.top < 1:
+        print("repro profile: error: --top must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        # Validate the sort key on an empty Stats BEFORE the (multi-second
+        # to multi-minute) profiled run, so a typo fails instantly.
+        pstats.Stats().sort_stats(args.sort)
+    except KeyError:
+        print(
+            f"repro profile: error: invalid --sort key {args.sort!r} "
+            "(try tottime, cumtime, ncalls)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        stats = profile_scenario(
+            args.scenario,
+            scale=args.scale,
+            duration_s=args.duration,
+            out_path=out_path,
+        )
+    except (KeyError, ValueError) as exc:
+        # KeyError: unknown scenario; ValueError: a --duration the
+        # scenario's config rejects (negative, shorter than one period).
+        message = exc.args[0] if exc.args else exc
+        print(f"repro profile: error: {message}", file=sys.stderr)
+        return 2
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    print(f"raw profile written to {out_path} "
+          f"(inspect with python -m pstats {out_path})")
+    return 0
+
+
 def _cmd_analysis() -> int:
     print(format_table(
         "Section 5.2 — storage cost",
@@ -423,6 +497,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fig(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "analysis":
         return _cmd_analysis()
     if args.command == "topology":

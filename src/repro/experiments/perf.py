@@ -49,41 +49,67 @@ PERF_SCHEMA_VERSION = 1
 #: fails loudly.
 REGRESSION_THRESHOLD = 0.20
 
-#: Pre-PR hot-path baseline (quick scale), recorded when the performance
-#: overhaul landed: minimum over 6 runs of the *previous* commit, strictly
-#: alternated with post-overhaul runs on the same dev container (1 vCPU,
-#: CPython 3.11) so both sides saw the same machine conditions.  Kept in
-#: the report so the speedup trajectory travels with the artifact.
-#: Wall-clock only compares within one machine; events/sec is the more
-#: portable number.
+#: Pre-PR hot-path baseline (quick scale): each scenario's wall-clock and
+#: events/sec as committed in ``BENCH_perf.json`` immediately before the
+#: PR that last restructured its hot path, measured on the dev container
+#: (1 vCPU, CPython 3.11).  ``fig4_jit``/``scale_16users`` date from the
+#: PR 2 inlining overhaul (min over 6 alternated runs of the previous
+#: commit); ``hetero_mix_8users`` had no recorded baseline until the PR 4
+#: batching overhaul pinned its then-committed numbers, so all three are
+#: now gated identically.  Kept in the report so the speedup trajectory
+#: travels with the artifact.  Wall-clock only compares within one
+#: machine; note the PR 4 event coalescing makes pre-PR-4 *events/sec*
+#: incomparable with current reports (far fewer, heavier events) —
+#: ``speedup_vs_pre_pr`` is wall-clock based for exactly that reason.
 PRE_PR_BASELINE: Dict[str, Dict[str, float]] = {
     "fig4_jit": {"wall_s": 2.869, "events_per_sec": 83699.0},
     "scale_16users": {"wall_s": 6.529, "events_per_sec": 71288.0},
+    "hetero_mix_8users": {"wall_s": 1.3683, "events_per_sec": 174473.1},
 }
 
-#: Expected quick-scale result fingerprints.  These pin *what* the
-#: simulation computes, independent of machine speed; they were identical
-#: before and after the hot-path overhaul (the golden determinism tests
-#: assert the same property at finer grain).
-QUICK_FINGERPRINTS: Dict[str, Dict[str, int]] = {
+#: Quick-scale **result fingerprints**: what the simulation computes,
+#: independent of machine speed and of how work is packed into kernel
+#: events.  These are the correctness gate — they have been bit-identical
+#: through the PR 2 inlining pass and the PR 4 batching overhaul (the
+#: golden determinism tests assert the same property at finer grain) and
+#: only a deliberate *model* change may re-pin them.
+RESULT_FINGERPRINTS: Dict[str, Dict[str, object]] = {
     "fig4_jit": {
-        "events_executed": 240132,
         "frames_sent": 11165,
         "frames_collided": 21433,
+        "mean_success": 0.973333,
     },
     "scale_16users": {
-        "events_executed": 465442,
         "frames_sent": 20106,
         "frames_collided": 18356,
+        "mean_success": 0.912362,
     },
     # captured when the service façade landed (the scenario runs through
     # MobiQueryService.submit, not the legacy adapter)
     "hetero_mix_8users": {
-        "events_executed": 238732,
         "frames_sent": 13482,
         "frames_collided": 11614,
+        "mean_success": 0.929925,
     },
 }
+
+#: Quick-scale **event-count fingerprints**: how many kernel events a run
+#: executes.  Unlike the result fingerprints these are an implementation
+#: property — an optimization that batches work into fewer events
+#: legitimately changes them and must re-pin in the same commit.  Comment
+#: trail: pinned at 240132/465442/238732 through PR 2-3 (per-listener
+#: receptions, per-node PSM boundary events); re-pinned in PR 4 when the
+#: batched reception pipeline (whole receiver cohort resolved by one
+#: end-of-airtime event, MAC broadcast completion folded into it) and the
+#: PSM wake-wheel (one event per distinct window boundary, overrides no
+#: longer chain duplicate per-node boundary events) removed ~83% of
+#: kernel events with bit-identical results.
+EVENT_FINGERPRINTS: Dict[str, int] = {
+    "fig4_jit": 41408,
+    "scale_16users": 74773,
+    "hetero_mix_8users": 50203,
+}
+
 
 
 @dataclass(frozen=True)
@@ -180,6 +206,58 @@ def measure_scenario(name: str, config, repeats: int = 1) -> PerfSample:
     )
 
 
+#: where ``repro profile`` writes the raw cProfile dump by default
+DEFAULT_PROFILE_PATH = "/tmp/repro_prof.out"
+
+
+def profile_scenario(
+    name: str,
+    scale: Optional[str] = None,
+    duration_s: Optional[float] = None,
+    out_path: str = DEFAULT_PROFILE_PATH,
+):
+    """Run one canonical scenario under ``cProfile`` (the ROADMAP recipe).
+
+    Replaces the two copy-pasted shell lines (``python -m cProfile -o ...``
+    then a ``pstats`` one-liner) with a single call: the scenario runs
+    once, the raw profile is dumped to ``out_path`` for later digging, and
+    the returned :class:`pstats.Stats` is ready for ``sort_stats(...)``
+    ``.print_stats(top)``.
+
+    Args:
+        name: a :func:`perf_scenarios` key (e.g. ``fig4_jit``).
+        scale: quick|paper (defaults to the bench scale).
+        duration_s: optional duration override — handy for short looks at
+            a hot path without paying the full scenario.
+        out_path: where to dump the raw profile.
+
+    Raises:
+        KeyError: for an unknown scenario name (message lists valid ones).
+    """
+    import cProfile
+    import pstats
+    from dataclasses import replace
+
+    scenarios = perf_scenarios(scale)
+    config = scenarios.get(name)
+    if config is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; expected one of: "
+            + ", ".join(sorted(scenarios))
+        )
+    if duration_s is not None:
+        if isinstance(config, ExperimentConfig):
+            config = replace(config, duration_s=duration_s)
+        else:
+            config = config.with_overrides(duration_s=duration_s)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _run_once(config)
+    profiler.disable()
+    profiler.dump_stats(out_path)
+    return pstats.Stats(profiler)
+
+
 def run_perf_suite(scale: Optional[str] = None, repeats: int = 1) -> Dict:
     """Measure every canonical scenario and build the report dict."""
     scale = scale or bench_scale()
@@ -211,11 +289,17 @@ def run_perf_suite(scale: Optional[str] = None, repeats: int = 1) -> Dict:
 
 
 def fingerprint_mismatches(report: Dict) -> List[str]:
-    """Determinism check: quick-scale results must match the pinned counts."""
+    """Determinism check: quick-scale runs must match the pinned fingerprints.
+
+    Result-fingerprint mismatches mean the simulation *computes something
+    different* (never acceptable from a pure optimization); event-count
+    mismatches mean work was repacked into kernel events differently (only
+    acceptable when re-pinned deliberately, in the same commit).
+    """
     if report.get("scale") != SCALE_QUICK:
         return []
     problems = []
-    for name, expected in QUICK_FINGERPRINTS.items():
+    for name, expected in RESULT_FINGERPRINTS.items():
         got = report["scenarios"].get(name)
         if got is None:
             problems.append(f"{name}: scenario missing from report")
@@ -226,6 +310,14 @@ def fingerprint_mismatches(report: Dict) -> List[str]:
                     f"{name}.{field}: expected {value}, measured {got.get(field)} "
                     "— the simulation's results changed, not just its speed"
                 )
+        events = EVENT_FINGERPRINTS[name]
+        if got.get("events_executed") != events:
+            problems.append(
+                f"{name}.events_executed: expected {events}, measured "
+                f"{got.get('events_executed')} — the event structure changed; "
+                "if the results above still match, re-pin EVENT_FINGERPRINTS "
+                "in the same commit and say so in the commit message"
+            )
     return problems
 
 

@@ -1,6 +1,6 @@
 """Wireless network substrate: channel, MAC, PSM, energy, nodes, routing."""
 
-from .channel import Channel, Reception
+from .channel import BroadcastReception, Channel, Reception
 from .energy import PAPER_POWER_MODEL, EnergyMeter, PowerModel, RadioState
 from .field import (
     GradientField,
@@ -15,11 +15,12 @@ from .mac import MacConfig, MacLayer
 from .network import Network, NetworkConfig, build_network, uniform_positions
 from .node import ROLE_ACTIVE, ROLE_SLEEPER, MobileEndpoint, SensorNode
 from .packet import ACK_SIZE_BYTES, BROADCAST, MAC_HEADER_BYTES, Frame
-from .psm import PsmConfig, SleepScheduler, delivery_time
+from .psm import PsmConfig, SleepScheduler, WakeWheel, delivery_time
 from .radio import Radio
 from .routing import GeoEnvelope, GeoRouter
 
 __all__ = [
+    "BroadcastReception",
     "Channel",
     "Reception",
     "EnergyMeter",
@@ -50,6 +51,7 @@ __all__ = [
     "ACK_SIZE_BYTES",
     "PsmConfig",
     "SleepScheduler",
+    "WakeWheel",
     "delivery_time",
     "Radio",
     "GeoRouter",

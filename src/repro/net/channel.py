@@ -28,11 +28,24 @@ bit-identical to querying the grid per transmission) and reused for every
 updated on transmission start/finish) instead of scanning all active
 transmissions per query; the mobile proxy, whose position changes between
 sense calls, is the one case that still scans the (short) active list.
+
+Receptions are **batched per frame**: one :class:`BroadcastReception`
+record carries the whole listener cohort in parallel arrays (receiver
+refs, corrupt flags, corruption reasons) instead of one ``Reception``
+object per listener, and a single end-of-airtime kernel event resolves
+every receiver in a batch loop.  Per-radio reception state collapses to a
+counter plus a pointer to the radio's unique still-clean reception (two
+overlapping frames corrupt each other, so at most one in-flight reception
+per radio is ever clean — see :class:`~repro.net.radio.Radio`); corruption
+by overlap or by the receiver leaving a listening state flips the flag in
+the record's arrays directly.  The object-per-reception ``Reception`` API
+remains for unit tests and external callers but is off the simulation hot
+path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from ..geometry.grid import SpatialGrid
 from ..geometry.vec import Vec2
@@ -59,7 +72,13 @@ class ChannelEndpoint(Protocol):
 
 
 class Reception:
-    """One frame in flight at one receiver."""
+    """One frame in flight at one receiver (object-per-reception API).
+
+    The simulation hot path batches receptions per frame in
+    :class:`BroadcastReception` instead; this class remains for unit tests
+    and external callers driving :meth:`Radio.begin_reception` /
+    :meth:`Radio.end_reception` directly.
+    """
 
     __slots__ = ("frame", "receiver", "corrupted", "reason")
 
@@ -76,10 +95,22 @@ class Reception:
             self.reason = reason
 
 
-class _ActiveTransmission:
-    """Bookkeeping for one transmission while it is on the air."""
+class BroadcastReception:
+    """One frame on the air, with its entire listener cohort batched.
 
-    __slots__ = ("frame", "sender_id", "position", "end_time", "receptions", "covered")
+    Replaces the per-listener ``Reception`` objects on the hot path: the
+    receiver set and per-receiver corruption state live in parallel arrays
+    (``receivers[i]`` / ``corrupt[i]`` / ``reasons[i]``) carried by a
+    single per-frame record, and ONE end-of-airtime kernel event resolves
+    the whole cohort — radio RX end, energy accounting, collision and
+    delivery outcomes — in a batch loop, so kernel events and allocations
+    scale O(frames), not O(frames x listeners).
+    """
+
+    __slots__ = (
+        "frame", "sender_id", "position", "end_time", "covered",
+        "receivers", "corrupt", "reasons", "on_airtime_end",
+    )
 
     def __init__(
         self,
@@ -87,17 +118,26 @@ class _ActiveTransmission:
         sender_id: int,
         position: Vec2,
         end_time: float,
-        receptions: List[Reception],
         covered: Tuple[int, ...] = (),
     ) -> None:
         self.frame = frame
         self.sender_id = sender_id
         self.position = position
         self.end_time = end_time
-        self.receptions = receptions
         #: static node ids (excluding the sender) whose busy counters this
         #: transmission incremented; decremented again on finish
         self.covered = covered
+        #: endpoints that began receiving this frame, in reception order
+        #: (static listeners in grid-query order, then mobiles)
+        self.receivers: List[ChannelEndpoint] = []
+        #: per-receiver corruption flag, parallel to ``receivers``
+        self.corrupt: List[bool] = []
+        #: per-receiver first corruption reason, parallel to ``receivers``
+        self.reasons: List[Optional[str]] = []
+        #: sender-side completion hook, run after the cohort resolves (the
+        #: MAC's broadcast completion rides the batch event instead of
+        #: scheduling its own kernel event at the same instant)
+        self.on_airtime_end: Optional[Callable[[], None]] = None
 
 
 class Channel:
@@ -131,7 +171,7 @@ class Channel:
         self._grid: SpatialGrid[int] = SpatialGrid(cell_size=comm_range)
         self._static: Dict[int, ChannelEndpoint] = {}
         self._mobile: Dict[int, ChannelEndpoint] = {}
-        self._active: List[_ActiveTransmission] = []
+        self._active: List[BroadcastReception] = []
         #: per static node: (listener endpoints, their ids), grid-query order
         self._neighbor_cache: Dict[int, Tuple[Tuple[ChannelEndpoint, ...], Tuple[int, ...]]] = {}
         # Per static node (indexed by id): number of in-flight transmissions
@@ -142,6 +182,9 @@ class Channel:
         # so carrier sense never scans the active list for static nodes.
         self._busy_count: List[int] = []
         self._busy_latest: List[float] = []
+        #: descending sentinel ids assigned to in-flight transmissions whose
+        #: mobile sender unregistered mid-airtime (see unregister_mobile)
+        self._retired_sender_seq = 0
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_collided = 0
@@ -188,8 +231,21 @@ class Channel:
         Future transmissions no longer reach it; receptions already in
         flight hold a direct endpoint reference and resolve normally.
         Unknown ids are ignored so teardown is idempotent.
+
+        A transmission the departing endpoint still has on the air keeps
+        its record (the end-of-airtime event always fires and drains the
+        per-node busy counters), but its ``sender_id`` is re-tagged to a
+        unique sentinel: the id is only used to exclude the sender's own
+        frame from its carrier sense, and a later ``register_mobile`` may
+        legitimately reuse the id — without the re-tag the new endpoint
+        would read the medium idle while the old frame is still in flight.
         """
-        self._mobile.pop(node_id, None)
+        if self._mobile.pop(node_id, None) is None:
+            return
+        for tx in self._active:
+            if tx.sender_id == node_id:
+                self._retired_sender_seq -= 1
+                tx.sender_id = self._retired_sender_seq
 
     def endpoint(self, node_id: int) -> ChannelEndpoint:
         """Look up a registered endpoint by id."""
@@ -299,12 +355,21 @@ class Channel:
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
-    def transmit(self, sender: ChannelEndpoint, frame: Frame) -> float:
+    def transmit(
+        self,
+        sender: ChannelEndpoint,
+        frame: Frame,
+        on_airtime_end: Optional[Callable[[], None]] = None,
+    ) -> float:
         """Put ``frame`` on the air from ``sender``; returns its airtime.
 
         The caller (MAC) is responsible for carrier sense and for not
         already transmitting.  Reception outcomes resolve when the airtime
-        elapses.
+        elapses; ``on_airtime_end``, if given, runs at the very end of the
+        same batch event — after every receiver resolved — sparing the
+        caller a second kernel event at the identical instant.  (The two
+        events were always seq-adjacent, so folding preserves the global
+        event order exactly.)
         """
         now = self.sim.now
         duration = self.airtime(frame)
@@ -322,28 +387,45 @@ class Channel:
             static = self._static
             static_listeners = tuple(static[i] for i in ids if i != sender_id)
             covered = tuple(i for i in ids if i != sender_id)
-        receptions: List[Reception] = []
-        append = receptions.append
-        # Radio.begin_reception and the IDLE->RX energy transition are
-        # inlined in both loops below (overlap corruption + state change) —
-        # one reception starts per listening neighbour per transmission,
-        # the hottest inner loop in the model.
+        end_time = now + duration
+        record = BroadcastReception(frame, sender_id, position, end_time, covered)
+        record.on_airtime_end = on_airtime_end
+        receivers = record.receivers
+        corrupt = record.corrupt
+        reasons = record.reasons
+        # Reception begin is inlined in both loops below (overlap corruption
+        # + IDLE->RX radio/energy transition) — one reception starts per
+        # listening neighbour per transmission, the hottest inner loop in
+        # the model.  No per-listener object is allocated: the cohort's
+        # state is appended to the record's parallel arrays, and each radio
+        # tracks only a count plus its single still-clean reception.
         rx_state = RadioState.RX
         idle_state = RadioState.IDLE
         for listener in static_listeners:
             radio = listener.radio
             if not radio.listening:
                 continue
-            reception = Reception(frame, listener)
-            active = radio.active_receptions
-            if active:
-                reception.corrupted = True
-                reception.reason = "overlap"
-                for other in active:
-                    if not other.corrupted:
-                        other.corrupted = True
-                        other.reason = "overlap"
-            active.append(reception)
+            n = radio.rx_count
+            radio.rx_count = n + 1
+            if n:
+                # Overlap: the newcomer and whatever was still clean at
+                # this radio are both corrupt (first reason wins).
+                corrupt.append(True)
+                reasons.append("overlap")
+                prev = radio._rx_record
+                if prev is not None:
+                    prev.corrupt[radio._rx_index] = True
+                    prev.reasons[radio._rx_index] = "overlap"
+                    radio._rx_record = None
+                if radio.active_receptions:  # legacy objects (tests only)
+                    for other in radio.active_receptions:
+                        other.corrupt("overlap")
+            else:
+                corrupt.append(False)
+                reasons.append(None)
+                radio._rx_record = record
+                radio._rx_index = len(receivers)
+            receivers.append(listener)
             if radio._state is idle_state:
                 radio._state = rx_state
                 energy = radio.energy
@@ -354,7 +436,6 @@ class Channel:
                     energy._state_since = now
                 energy._state = rx_state
                 energy._state_w = energy.model.rx_w
-            append(reception)
         px, py = position.x, position.y
         r_sq_eps = self.comm_range * self.comm_range + 1e-9
         for listener in self._mobile.values():
@@ -369,12 +450,9 @@ class Channel:
             if not radio.listening:
                 continue
             # Mobile listeners are few (one proxy per user), so the plain
-            # begin_reception call is fine here.
-            reception = Reception(frame, listener)
-            radio.begin_reception(reception)
-            append(reception)
-        end_time = now + duration
-        record = _ActiveTransmission(frame, sender_id, position, end_time, receptions, covered)
+            # batch-begin method is fine here — no fourth inlined copy of
+            # the corruption/energy logic to keep in sync.
+            radio.begin_batch_reception(record, listener)
         self._active.append(record)
         busy_count = self._busy_count
         busy_latest = self._busy_latest
@@ -393,8 +471,16 @@ class Channel:
         return duration
 
     def _finish_transmission(
-        self, sender: ChannelEndpoint, record: _ActiveTransmission
+        self, sender: ChannelEndpoint, record: BroadcastReception
     ) -> None:
+        """End-of-airtime batch event: resolve every receiver of one frame.
+
+        One kernel event per frame (scheduled by :meth:`transmit`) walks
+        the record's parallel arrays — reception end, RX->IDLE radio and
+        energy transitions, collision/delivery outcome and upward dispatch
+        all happen in this loop, in the same receiver order the per-object
+        path used, so downstream event sequences are unchanged.
+        """
         self._active.remove(record)
         busy_count = self._busy_count
         for node_id in record.covered:
@@ -405,17 +491,17 @@ class Channel:
         frame = record.frame
         rx_state = RadioState.RX
         idle_state = RadioState.IDLE
-        for reception in record.receptions:
-            receiver = reception.receiver
-            # Radio.end_reception and the RX->IDLE energy transition are
-            # inlined (see transmit for the begin side).
+        corrupt = record.corrupt
+        reasons = record.reasons
+        emit_collision = tracer is not None and tracer.wants("collision")
+        emit_rx = tracer is not None and tracer.wants("rx")
+        collided = 0
+        delivered = 0
+        for i, receiver in enumerate(record.receivers):
             radio = receiver.radio
-            active = radio.active_receptions
-            try:
-                active.remove(reception)
-            except ValueError:
-                pass
-            if not active and radio._state is rx_state:
+            n = radio.rx_count - 1
+            radio.rx_count = n
+            if not n and radio._state is rx_state:
                 radio._state = idle_state
                 energy = radio.energy
                 elapsed = now - energy._state_since
@@ -425,31 +511,40 @@ class Channel:
                     energy._state_since = now
                 energy._state = idle_state
                 energy._state_w = energy.model.idle_w
-            if reception.corrupted:
-                self.frames_collided += 1
-                if tracer is not None:
-                    if tracer.wants("collision"):
-                        tracer.emit(
-                            "collision",
-                            now,
-                            frame=frame.seq,
-                            frame_kind=frame.kind,
-                            at=receiver.node_id,
-                            reason=reception.reason,
-                        )
-                    else:
-                        tracer.tick("collision")
-                continue
-            self.frames_delivered += 1
-            if tracer is not None:
-                if tracer.wants("rx"):
+            if corrupt[i]:
+                collided += 1
+                if emit_collision:
                     tracer.emit(
-                        "rx",
+                        "collision",
                         now,
                         frame=frame.seq,
                         frame_kind=frame.kind,
                         at=receiver.node_id,
+                        reason=reasons[i],
                     )
-                else:
-                    tracer.tick("rx")
+                continue
+            # A clean reception reaching its end is, by the overlap rules,
+            # the unique clean one at its radio — release the radio's slot.
+            radio._rx_record = None
+            delivered += 1
+            if emit_rx:
+                tracer.emit(
+                    "rx",
+                    now,
+                    frame=frame.seq,
+                    frame_kind=frame.kind,
+                    at=receiver.node_id,
+                )
             receiver.deliver_frame(frame)
+        self.frames_collided += collided
+        self.frames_delivered += delivered
+        if tracer is not None:
+            # Batch the unwatched tick counting: one counter bump per frame
+            # instead of one per receiver.
+            if collided and not emit_collision:
+                tracer.tick_many("collision", collided)
+            if delivered and not emit_rx:
+                tracer.tick_many("rx", delivered)
+        callback = record.on_airtime_end
+        if callback is not None:
+            callback()

@@ -55,6 +55,12 @@ class EnergyMeter:
     reception — so the meter keeps the current state's draw as a scalar and
     accumulates per-state seconds in four plain floats (no enum hashing or
     dict lookup on the hot path).
+
+    The hottest transitions never call this class at all: the channel's
+    batch transmit/finish loops integrate IDLE<->RX directly against the
+    meter's fields for a whole receiver cohort per frame, and
+    ``Radio.set_state`` inlines the general transition — see
+    ``on_state_change`` for the keep-in-sync contract.
     """
 
     __slots__ = (
@@ -78,7 +84,10 @@ class EnergyMeter:
         """Close the current state interval and open a new one.
 
         NOTE: :meth:`repro.net.radio.Radio.set_state` inlines this exact
-        logic on its hot path — keep the two in sync.
+        logic on its hot path, and ``Channel.transmit`` /
+        ``Channel._finish_transmission`` inline the IDLE->RX / RX->IDLE
+        special cases inside their per-frame batch loops — keep all four
+        in sync.
         """
         # _settle and the watts lookup are inlined: this fires on every
         # radio transition and the two extra calls are measurable.

@@ -140,18 +140,26 @@ class MacLayer:
             self._schedule_attempt(first=False)
             return
         frame, _ = self._current
-        airtime = self.channel.transmit(self.endpoint, frame)
         if frame.is_broadcast:
-            self.sim.schedule_fast(airtime, self._finish_current, True)
-        else:
-            ack_wait = (
-                airtime
-                + self.config.sifs_s
-                + self.channel.airtime(self._ack_frame_for(frame))
-                + self.config.ack_slack_s
-            )
-            self._awaited_ack_seq = frame.seq
-            self._ack_timer = self.sim.schedule(ack_wait, self._on_ack_timeout)
+            # Broadcast completion rides the channel's end-of-airtime batch
+            # event (it used to be a second kernel event at the identical
+            # instant and adjacent sequence number — same execution order,
+            # one event per frame saved).
+            self.channel.transmit(self.endpoint, frame, self._finish_broadcast)
+            return
+        airtime = self.channel.transmit(self.endpoint, frame)
+        ack_wait = (
+            airtime
+            + self.config.sifs_s
+            + self.channel.airtime(self._ack_frame_for(frame))
+            + self.config.ack_slack_s
+        )
+        self._awaited_ack_seq = frame.seq
+        self._ack_timer = self.sim.schedule(ack_wait, self._on_ack_timeout)
+
+    def _finish_broadcast(self) -> None:
+        """Channel batch callback: our broadcast's airtime elapsed."""
+        self._finish_current(True)
 
     def _ack_frame_for(self, frame: Frame) -> Frame:
         return Frame(

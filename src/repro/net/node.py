@@ -154,7 +154,12 @@ class SensorNode:
         return self.role == ROLE_ACTIVE
 
     def make_sleeper(self, psm_config: PsmConfig) -> None:
-        """Demote the node to a duty-cycled sleeper and start its schedule."""
+        """Demote the node to a duty-cycled sleeper and start its schedule.
+
+        The scheduler joins the kernel's shared per-phase wake wheel (all
+        sleepers on one beacon phase are serviced by a single boundary
+        event per window edge — see :class:`repro.net.psm.WakeWheel`).
+        """
         self.role = ROLE_SLEEPER
         self.sleep_scheduler = SleepScheduler(self.sim, self.radio, self.mac, psm_config)
         self.sleep_scheduler.start()

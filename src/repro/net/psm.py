@@ -12,6 +12,18 @@ overrides**: a sleeping node told to participate in query ``k`` adds a wake
 interval around ``k*Tperiod - Tfresh`` so it can sample its sensor and
 report, then drops back to the beacon cycle.  This is the "reconfigure their
 sleep schedules to wake up at the right time" mechanic of Section 4.3.
+
+Hot-path layout: clocks are synchronized, so every sleeper on the same
+``(beacon_interval, offset, active_window)`` phase crosses its window
+boundaries at the same instants.  A shared :class:`WakeWheel` (one per
+distinct phase per kernel) therefore schedules ONE kernel event per window
+start and ONE per window end and services every registered scheduler from a
+batch loop, instead of each node chaining its own boundary events through
+the heap.  Wake overrides stay per-node (their times are query-specific):
+each installs exactly one start event and one end-check event and never
+chains further boundaries, so override-heavy runs scale with the number of
+overrides, not overrides x boundaries.  Only a node that cannot sleep yet
+(MAC still draining) puts a private retry event on the heap.
 """
 
 from __future__ import annotations
@@ -79,6 +91,86 @@ class PsmConfig:
         return start
 
 
+class WakeWheel:
+    """Shared beacon-window timer wheel for one ``(interval, offset, window)``
+    phase.
+
+    All sleepers on a phase cross window boundaries simultaneously (paper
+    assumption 1: synchronized clocks), so the wheel schedules exactly one
+    kernel event per distinct window start and one per window end, and
+    services every registered :class:`SleepScheduler` from a batch loop in
+    registration order — the same node-id order the per-node boundary
+    events used to fire in, so downstream event sequences are unchanged.
+    Nodes with nothing to do at a boundary (already awake, kept awake by an
+    override) are skipped inside the loop without ever touching the heap.
+    """
+
+    __slots__ = ("sim", "config", "_schedulers", "_armed")
+
+    def __init__(self, sim: Simulator, config: PsmConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self._schedulers: List["SleepScheduler"] = []
+        self._armed = False
+
+    @classmethod
+    def shared(cls, sim: Simulator, config: PsmConfig) -> "WakeWheel":
+        """The kernel-wide wheel for ``config``'s phase (created on demand).
+
+        Wheels are keyed by ``(beacon_interval, offset, active_window)`` on
+        the kernel instance itself, so schedulers built independently (the
+        network builder, tests constructing :class:`SleepScheduler`
+        directly) still coalesce onto one event chain per phase.
+        """
+        registry = getattr(sim, "_psm_wheels", None)
+        if registry is None:
+            registry = {}
+            sim._psm_wheels = registry  # type: ignore[attr-defined]
+        key = (config.beacon_interval_s, config.offset_s, config.active_window_s)
+        wheel = registry.get(key)
+        if wheel is None:
+            wheel = cls(sim, config)
+            registry[key] = wheel
+        return wheel
+
+    @property
+    def schedulers(self) -> Tuple["SleepScheduler", ...]:
+        """Schedulers serviced by this wheel, in registration order."""
+        return tuple(self._schedulers)
+
+    def register(self, scheduler: "SleepScheduler") -> None:
+        """Add ``scheduler`` to the wheel; arm the event chain on first use."""
+        self._schedulers.append(scheduler)
+        if self._armed:
+            return
+        self._armed = True
+        now = self.sim.now
+        cfg = self.config
+        if cfg.in_window(now):
+            # Close out the window already underway for the whole cohort.
+            end = now - cfg.window_phase(now) + cfg.active_window_s
+            self.sim.schedule_at_fast(end, self._on_window_end)
+        self.sim.schedule_at_fast(cfg.next_window_start(now), self._on_window_start)
+
+    def _on_window_start(self) -> None:
+        # One event per distinct boundary: wake the whole cohort, then chain
+        # the window end and the next start.  next_window_start recomputes
+        # ``offset + n*interval`` from scratch, so the chain cannot drift.
+        now = self.sim.now
+        for scheduler in self._schedulers:
+            scheduler.radio.wake()
+        cfg = self.config
+        self.sim.schedule_at_fast(now + cfg.active_window_s, self._on_window_end)
+        self.sim.schedule_at_fast(cfg.next_window_start(now), self._on_window_start)
+
+    def _on_window_end(self) -> None:
+        # Batch sleep check: schedulers kept awake by an override return
+        # immediately (that override's own end-check event will retire
+        # them); only a MAC-busy node schedules a private retry.
+        for scheduler in self._schedulers:
+            scheduler._maybe_sleep()
+
+
 class SleepScheduler:
     """Drives one sleeper's radio through the beacon cycle plus overrides."""
 
@@ -91,11 +183,13 @@ class SleepScheduler:
         radio: Radio,
         mac: MacLayer,
         config: PsmConfig,
+        wheel: Optional[WakeWheel] = None,
     ) -> None:
         self.sim = sim
         self.radio = radio
         self.mac = mac
         self.config = config
+        self.wheel = wheel if wheel is not None else WakeWheel.shared(sim, config)
         self._overrides: List[Tuple[float, float]] = []
         self._started = False
 
@@ -103,17 +197,20 @@ class SleepScheduler:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Begin the duty cycle.  The radio sleeps outside scheduled windows."""
+        """Begin the duty cycle.  The radio sleeps outside scheduled windows.
+
+        Joining the shared :class:`WakeWheel` replaces the per-node
+        boundary chain: the wheel wakes this radio at every window start
+        and runs the sleep check at every window end.
+        """
         if self._started:
             raise RuntimeError("sleep scheduler already started")
         self._started = True
-        now = self.sim.now
-        if self.is_scheduled_awake(now):
+        if self.is_scheduled_awake(self.sim.now):
             self.radio.wake()
-            self.sim.schedule_at_fast(self._current_window_end(now), self._maybe_sleep)
         else:
             self.radio.sleep()
-        self.sim.schedule_at_fast(self.next_window_start(now), self._on_wake_boundary)
+        self.wheel.register(self)
 
     # ------------------------------------------------------------------
     # Schedule queries (usable by other nodes thanks to clock sync)
@@ -174,7 +271,10 @@ class SleepScheduler:
         """Schedule an extra listening interval ``[start, end)``.
 
         Intervals in the past are ignored; an interval already underway
-        wakes the radio immediately.
+        wakes the radio immediately.  Each override costs exactly one wake
+        event (skipped when already underway) and one end-check event —
+        overrides never chain further boundaries, the shared wheel owns the
+        beacon cycle.
         """
         if end <= start:
             raise ValueError(f"empty wake interval [{start}, {end})")
@@ -186,8 +286,18 @@ class SleepScheduler:
             self.radio.wake()
             self.sim.schedule_at_fast(end, self._maybe_sleep)
         else:
-            self.sim.schedule_at_fast(start, self._on_wake_boundary)
+            self.sim.schedule_at_fast(start, self._on_override_start, end)
         self._prune_overrides(now)
+
+    def _on_override_start(self, end: float) -> None:
+        # The override's wake moment: wake the radio and arm the end check.
+        # If other overrides or a beacon window keep the node awake past
+        # ``end``, the check returns and their own end events take over —
+        # every awake stretch always ends at some override end or window
+        # end, and each of those times has an event.
+        self._prune_overrides(self.sim.now)
+        self.radio.wake()
+        self.sim.schedule_at_fast(end, self._maybe_sleep)
 
     def _prune_overrides(self, now: float) -> None:
         overrides = self._overrides
@@ -199,74 +309,15 @@ class SleepScheduler:
                 return
 
     # ------------------------------------------------------------------
-    # Boundary events
+    # Boundary events (beacon boundaries are driven by the shared wheel)
     # ------------------------------------------------------------------
-    def _on_wake_boundary(self) -> None:
-        # One boundary event fires per sleeper per beacon cycle plus one per
-        # override edge, so this is among the hottest callbacks in a run.
-        # The awake check and window end share a single phase computation
-        # (numerically identical to window_phase/in_window/_current_window_end).
-        now = self.sim.now
-        overrides = self._overrides
-        if overrides:
-            self._prune_overrides(now)
-            overrides = self._overrides
-        cfg = self.config
-        interval = cfg.beacon_interval_s
-        eps = cfg._BOUNDARY_EPS
-        active = cfg.active_window_s
-        phase = (now - cfg.offset_s) % interval
-        if phase >= interval - eps:
-            phase = 0.0
-        awake = phase < active - eps
-        if not awake and overrides:
-            for start, end in overrides:
-                if start - 1e-12 <= now < end - 1e-12:
-                    awake = True
-                    break
-        if awake:
-            self.radio.wake()
-            end = now - phase + active if phase < active else now
-            if overrides:
-                changed = True
-                while changed:
-                    changed = False
-                    for start, o_end in overrides:
-                        if start <= end + 1e-12 and o_end > end:
-                            end = o_end
-                            changed = True
-            if end < now:
-                end = now
-            self.sim.schedule_at_fast(end, self._maybe_sleep)
-        # Chain the beacon cycle: always have the next wake queued.
-        nxt = self.next_window_start(now)
-        if nxt > now:
-            self.sim.schedule_at_fast(nxt, self._on_wake_boundary)
-
-    def _current_window_end(self, t: float) -> float:
-        """End of the scheduled-awake stretch containing ``t``."""
-        phase = self.config.window_phase(t)
-        if phase < self.config.active_window_s:
-            end = t - phase + self.config.active_window_s
-        else:
-            end = t
-        if self._overrides:
-            changed = True
-            while changed:
-                changed = False
-                for start, o_end in self._overrides:
-                    if start <= end + 1e-12 and o_end > end:
-                        end = o_end
-                        changed = True
-        return max(end, t)
-
     def _maybe_sleep(self) -> None:
         now = self.sim.now
         if self.is_scheduled_awake(now):
             return  # an override extended the window; its own end event fires later
         mac = self.mac
         radio = self.radio
-        if mac._busy or mac._queue or radio.is_transmitting or radio.active_receptions:
+        if mac._busy or mac._queue or radio.is_transmitting or radio.rx_count:
             # Drain in-flight work before powering down; bounded in practice
             # because sleepers only ever queue a handful of frames.
             self.sim.schedule_fast(self._SLEEP_RETRY_S, self._maybe_sleep)

@@ -11,13 +11,13 @@ query dissemination in the paper's motivating example.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from ..sim.kernel import Simulator
 from .energy import EnergyMeter, PowerModel, RadioState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from .channel import Reception
+    from .channel import BroadcastReception, Reception
 
 
 class Radio:
@@ -39,7 +39,20 @@ class Radio:
         #: call is measurable; maintained by ``set_state``.
         self.listening = initial_state in (RadioState.IDLE, RadioState.RX)
         self.energy.on_state_change(initial_state)
-        #: receptions currently in flight at this radio (managed by Channel)
+        #: number of receptions currently in flight at this radio, batched
+        #: (channel hot path) and object-based (legacy API) combined.  The
+        #: channel and the PSM sleep check read this instead of a list.
+        self.rx_count = 0
+        # The radio's single still-clean batched reception, as a record
+        # reference plus its index in the record's parallel arrays.  Two
+        # overlapping frames corrupt each other, so at most one in-flight
+        # reception is ever clean; corrupting events (a second frame
+        # starting, the radio leaving a listening state) flip the flags in
+        # the record directly and clear this slot.
+        self._rx_record: Optional["BroadcastReception"] = None
+        self._rx_index = -1
+        #: object-per-reception API receptions in flight (tests, external
+        #: callers); the simulation hot path never populates this list
         self.active_receptions: List["Reception"] = []
 
     # ------------------------------------------------------------------
@@ -75,6 +88,13 @@ class Radio:
             if self.active_receptions:
                 for reception in self.active_receptions:
                     reception.corrupt("receiver_left_listening")
+            record = self._rx_record
+            if record is not None:
+                # The one still-clean batched reception dies with the
+                # listening state; already-corrupt ones need no touch.
+                record.corrupt[self._rx_index] = True
+                record.reasons[self._rx_index] = "receiver_left_listening"
+                self._rx_record = None
             self.listening = False
         else:
             self.listening = True
@@ -111,24 +131,71 @@ class Radio:
     # ------------------------------------------------------------------
     # Channel integration
     # ------------------------------------------------------------------
+    def begin_batch_reception(
+        self, record: "BroadcastReception", listener: object
+    ) -> None:
+        """Join ``record``'s receiver cohort (batch begin, cold paths).
+
+        Same semantics as the inlined block in ``Channel.transmit``'s
+        static-listener loop — overlap corruption against whatever is in
+        flight, clean-slot tracking, IDLE->RX — as a plain method for the
+        loops that are not hot (mobile listeners: one proxy per user).
+        The caller must have checked ``listening``.
+        """
+        n = self.rx_count
+        self.rx_count = n + 1
+        if n:
+            record.corrupt.append(True)
+            record.reasons.append("overlap")
+            prev = self._rx_record
+            if prev is not None:
+                prev.corrupt[self._rx_index] = True
+                prev.reasons[self._rx_index] = "overlap"
+                self._rx_record = None
+            if self.active_receptions:
+                for other in self.active_receptions:
+                    other.corrupt("overlap")
+        else:
+            record.corrupt.append(False)
+            record.reasons.append(None)
+            self._rx_record = record
+            self._rx_index = len(record.receivers)
+        record.receivers.append(listener)
+        if self._state is RadioState.IDLE:
+            self.set_state(RadioState.RX)
+
     def begin_reception(self, reception: "Reception") -> None:
-        """Channel callback: a frame started arriving while we listened."""
-        if self.active_receptions:
+        """A frame started arriving while we listened (object-based API).
+
+        The channel's hot path batches receptions per frame instead (see
+        :class:`~repro.net.channel.BroadcastReception`); this entry point
+        keeps the same overlap semantics for object-based callers and
+        interoperates with any batched reception in flight.
+        """
+        if self.rx_count:
             # Overlap: everything in flight at this radio is garbage.
             reception.corrupt("overlap")
             for other in self.active_receptions:
                 other.corrupt("overlap")
+            record = self._rx_record
+            if record is not None:
+                record.corrupt[self._rx_index] = True
+                record.reasons[self._rx_index] = "overlap"
+                self._rx_record = None
         self.active_receptions.append(reception)
+        self.rx_count += 1
         if self._state is RadioState.IDLE:
             self.set_state(RadioState.RX)
 
     def end_reception(self, reception: "Reception") -> None:
-        """Channel callback: the frame's airtime elapsed."""
+        """The frame's airtime elapsed (object-based API)."""
         try:
             self.active_receptions.remove(reception)
         except ValueError:
             pass
-        if not self.active_receptions and self._state is RadioState.RX:
+        else:
+            self.rx_count -= 1
+        if not self.rx_count and self._state is RadioState.RX:
             self.set_state(RadioState.IDLE)
 
     def set_state_tx_guarded(self) -> None:

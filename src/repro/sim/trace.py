@@ -71,6 +71,16 @@ class Tracer:
         """Count an occurrence of ``kind`` without building a record."""
         self.counts[kind] += 1
 
+    def tick_many(self, kind: str, n: int) -> None:
+        """Count ``n`` occurrences of ``kind`` at once (batch ``tick``).
+
+        Batch emitters (the channel resolves a whole frame's receiver
+        cohort in one event) tally their unwatched outcomes locally and
+        bump the counter once per batch; observably identical to ``n``
+        ``tick`` calls.
+        """
+        self.counts[kind] += n
+
     def emit(self, kind: str, time: float, **fields: Any) -> None:
         """Emit a record.  Cheap when the kind is neither kept nor subscribed."""
         self.counts[kind] += 1

@@ -108,3 +108,39 @@ class TestCli:
         out = capsys.readouterr().out
         assert "success ratio" in out
         assert "fidelity per period" in out
+
+
+class TestProfileCommand:
+    def test_profile_scenario_short(self, capsys, tmp_path):
+        out_path = str(tmp_path / "prof.out")
+        assert main([
+            "profile", "fig4_jit", "--duration", "10", "--top", "5",
+            "--out", out_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "function calls" in out  # pstats header
+        assert f"raw profile written to {out_path}" in out
+        assert (tmp_path / "prof.out").exists()
+
+    def test_profile_unknown_scenario(self, capsys):
+        assert main(["profile", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "fig4_jit" in err  # error lists the valid names
+
+    def test_profile_bad_sort_key(self, capsys, tmp_path):
+        out_path = str(tmp_path / "prof.out")
+        assert main([
+            "profile", "fig4_jit", "--duration", "5", "--sort", "bogus",
+            "--out", out_path,
+        ]) == 2
+        assert "invalid --sort key" in capsys.readouterr().err
+
+    def test_profile_rejects_nonpositive_top(self, capsys):
+        assert main(["profile", "fig4_jit", "--top", "0"]) == 2
+        assert "--top" in capsys.readouterr().err
+
+    def test_profile_bad_duration_clean_error(self, capsys):
+        assert main(["profile", "fig4_jit", "--duration", "-5"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro profile: error:")

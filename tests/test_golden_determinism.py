@@ -1,17 +1,35 @@
 """Golden determinism: the hot-path optimizations change speed, nothing else.
 
-The performance overhaul (cached static topology, per-node carrier-sense
-bookkeeping, kernel fast paths, inlined radio/energy transitions) is only
-admissible because simulation results are bit-identical to the
-pre-optimization code.  These tests pin the exact event counts, frame
-counters, and per-user success ratios of two canonical runs, captured on
-the commit *before* the overhaul landed; any optimization that perturbs
-event ordering, reception sets, or RNG consumption shows up here as a
-changed constant, not as silent statistical drift.
+The hot-path overhauls (PR 2: cached static topology, per-node carrier
+sense, kernel fast paths, inlined radio/energy transitions; PR 4: batched
+per-frame receptions, the PSM wake-wheel) are only admissible because
+simulation *results* are bit-identical to the pre-optimization code.  The
+pins are split into two families with different rules:
 
-If a deliberate *model* change (new protocol behaviour, different RNG
-layout) alters these numbers, re-pin them in the same commit and say so in
-the commit message — that is the one legitimate reason to touch them.
+* **Result fingerprints** (``GOLDEN_RESULTS``): frame counters and
+  per-user success ratios — what the simulation computes.  Captured on the
+  commit before the PR 2 overhaul and bit-identical ever since; only a
+  deliberate *model* change (new protocol behaviour, different RNG layout)
+  may re-pin them, in the same commit, saying so in the commit message.
+* **Event-count fingerprints** (``GOLDEN_EVENT_COUNTS``): how many kernel
+  events the run executes — an implementation property.  An optimization
+  that repacks work into fewer events (batching, coalescing) legitimately
+  changes these.  Re-pin procedure: verify every ``GOLDEN_RESULTS`` field
+  still matches, run the two configs below, paste the new
+  ``events_executed`` values with a comment-trail entry noting which PR
+  changed the event structure and why, all in the same commit.
+
+Comment trail for ``GOLDEN_EVENT_COUNTS``:
+
+* PR 2-3: 24363 (single user) / 89806 (four users) — one end-of-airtime
+  event per frame x listener era pins, with per-node PSM boundary chains.
+* PR 4: 6309 / 22796 — the PSM wake-wheel cut ~73% of events (one event
+  per distinct beacon window boundary instead of one per sleeper, and
+  wake overrides no longer chain duplicate per-node boundary events —
+  the old chains grew O(overrides^2)); folding the MAC's broadcast
+  completion into the channel's end-of-airtime batch event removed one
+  more event per broadcast frame.  Results verified bit-identical,
+  including sleeper power draw.
 """
 
 import pytest
@@ -20,17 +38,16 @@ from repro.experiments.config import MODE_JIT, ExperimentConfig, QueryParams
 from repro.experiments.runner import run_experiment, run_replications
 from repro.workload.arrivals import ARRIVAL_STAGGERED
 
-#: captured at quick scale (120 s, Rq=60 m, seed 1) pre-overhaul
-GOLDEN = {
+#: captured at quick scale (120 s, Rq=60 m, seed 1) pre-PR-2-overhaul;
+#: bit-identical through every perf PR since — the correctness gate.
+GOLDEN_RESULTS = {
     "single_user": {
-        "events_executed": 24363,
         "frames_sent": 1701,
         "frames_delivered": 26903,
         "frames_collided": 62,
         "success_ratios": (0.9666666666666667,),
     },
     "four_user": {
-        "events_executed": 89806,
         "frames_sent": 6124,
         "frames_delivered": 102151,
         "frames_collided": 590,
@@ -41,6 +58,13 @@ GOLDEN = {
             0.9642857142857143,
         ),
     },
+}
+
+#: kernel events per run — re-pinned when the event structure changes
+#: (see the module docstring for the procedure and the comment trail)
+GOLDEN_EVENT_COUNTS = {
+    "single_user": 6309,
+    "four_user": 22796,
 }
 
 
@@ -60,8 +84,7 @@ def _config(num_users: int) -> ExperimentConfig:
 )
 def test_run_matches_pre_optimization_golden(name, num_users):
     result = run_experiment(_config(num_users))
-    expected = GOLDEN[name]
-    assert result.events_executed == expected["events_executed"]
+    expected = GOLDEN_RESULTS[name]
     assert result.frames_sent == expected["frames_sent"]
     assert result.frames_delivered == expected["frames_delivered"]
     assert result.frames_collided == expected["frames_collided"]
@@ -70,9 +93,23 @@ def test_run_matches_pre_optimization_golden(name, num_users):
     assert tuple(result.user_success_ratios) == expected["success_ratios"]
 
 
+@pytest.mark.parametrize(
+    "name,num_users", [("single_user", 1), ("four_user", 4)]
+)
+def test_event_census_matches_pinned_structure(name, num_users):
+    """The event-count pin: catches *accidental* event-structure drift.
+
+    A legitimate batching/coalescing change re-pins GOLDEN_EVENT_COUNTS in
+    its own commit (module docstring); anything else tripping this is an
+    optimization quietly executing different work.
+    """
+    result = run_experiment(_config(num_users))
+    assert result.events_executed == GOLDEN_EVENT_COUNTS[name]
+
+
 def test_rerun_is_self_identical():
     """Two runs of one config agree exactly (no hidden global state in the
-    neighbor caches, busy counters, or kernel fast paths)."""
+    neighbor caches, busy counters, wake wheel, or kernel fast paths)."""
     first = run_experiment(_config(4))
     second = run_experiment(_config(4))
     assert first.events_executed == second.events_executed
