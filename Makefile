@@ -4,6 +4,8 @@
 #   make bench-smoke     the two CI benchmark smokes (fig4 + multi-user scaling)
 #   make bench           every benchmark (regenerates all paper figures, slow)
 #   make bench-perf      time the hot paths and write BENCH_perf.json
+#   make bench-cluster   time cluster_scale_64users (shards=1 vs sharded)
+#                        and gate the single-shard identity fingerprint
 #   make perf-gate       re-measure and fail on >20% events/sec regression
 #   make profile         cProfile one bench scenario (SCENARIO=..., ARGS=...)
 #   make examples-smoke  run every examples/ script at quick scale
@@ -17,7 +19,7 @@ EXAMPLE_SMOKE_DURATION ?= 30
 #: default scenario for `make profile`
 SCENARIO ?= scale_16users
 
-.PHONY: test bench bench-smoke bench-perf perf-gate profile examples-smoke check
+.PHONY: test bench bench-smoke bench-perf bench-cluster perf-gate profile examples-smoke check
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q tests/
@@ -39,6 +41,13 @@ bench:
 #   make bench-perf PERF_ARGS="--baseline BENCH_perf.json"
 bench-perf:
 	PYTHONPATH=src $(PY) -m repro bench --scale quick --output BENCH_perf.json $(PERF_ARGS)
+
+# The cluster scale-out bench: times cluster_scale_64users on one world vs
+# 4 shards (+4 workers where the cores exist), merges a "cluster" section
+# into BENCH_perf.json, and fails if ClusterService(shards=1) drifts from
+# the pinned MobiQueryService result fingerprint.
+bench-cluster:
+	PYTHONPATH=src $(PY) -m repro bench --cluster --scale quick --output BENCH_perf.json
 
 # Re-measure against the committed BENCH_perf.json without overwriting it
 # (what CI's perf-smoke job runs): >20% events/sec regression fails.

@@ -39,6 +39,9 @@ Subpackages:
   closed-form analysis, Section 6 metrics.
 * ``repro.workload`` — multi-user workloads: N concurrent query sessions
   with independent motion/arrival processes on one shared network.
+* ``repro.cluster`` — the sharded query plane: regional shard worlds, a
+  geometry router and worker-process execution behind the same
+  ``QueryBackend`` surface as the single service.
 * ``repro.experiments`` — per-figure experiment harness.
 """
 
@@ -47,14 +50,17 @@ from .api import (
     AdmissionDecision,
     AdmissionError,
     AdmissionPolicy,
+    BackendStats,
     MobiQueryService,
     PerAreaCapPolicy,
     PeriodOutcome,
     PhaseAssignPolicy,
+    QueryBackend,
     QueryRequest,
     ScenarioResult,
     ScenarioSpec,
     SessionHandle,
+    build_backend,
     get_scenario,
     list_scenarios,
     load_scenario_file,
@@ -62,6 +68,7 @@ from .api import (
     run_scenario,
     validate_query_params,
 )
+from .cluster import ClusterService
 from .core import (
     AggregateState,
     Aggregation,
@@ -127,7 +134,10 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     # api (the stable service surface)
+    "QueryBackend",
+    "BackendStats",
     "MobiQueryService",
+    "ClusterService",
     "SessionHandle",
     "QueryRequest",
     "PeriodOutcome",
@@ -145,6 +155,7 @@ __all__ = [
     "list_scenarios",
     "load_scenario_file",
     "run_scenario",
+    "build_backend",
     # experiments
     "ExperimentConfig",
     "RunResult",

@@ -11,6 +11,13 @@ guards the shared medium; declarative scenarios (:mod:`repro.api.
 scenarios`) package whole workloads as plain data runnable from the CLI
 (``repro scenario <name>``).
 
+Since PR 5 the surface is backend-agnostic: :class:`QueryBackend`
+(:mod:`repro.api.backend`) names the five-verb protocol
+(``submit``/``advance``/``cancel``/``stats``/``close``) that both
+:class:`MobiQueryService` (one world) and
+:class:`repro.cluster.ClusterService` (regional shards) implement —
+``build_backend(spec)`` picks the plane a scenario asks for.
+
 The legacy experiment surface (``repro.experiments``) is a thin adapter
 over this package and remains bit-identical for the paper figures.
 """
@@ -24,11 +31,13 @@ from .admission import (
     PhaseAssignPolicy,
     make_admission_policy,
 )
+from .backend import BackendStats, QueryBackend
 from .requests import PeriodOutcome, QueryRequest, validate_query_params
 from .scenarios import (
     SCENARIOS,
     ScenarioResult,
     ScenarioSpec,
+    build_backend,
     build_requests,
     build_service,
     get_scenario,
@@ -47,6 +56,9 @@ from .service import (
 )
 
 __all__ = [
+    # backend protocol
+    "QueryBackend",
+    "BackendStats",
     # service façade
     "MobiQueryService",
     "SessionHandle",
@@ -75,5 +87,6 @@ __all__ = [
     "load_scenario_file",
     "build_requests",
     "build_service",
+    "build_backend",
     "run_scenario",
 ]

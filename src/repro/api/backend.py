@@ -1,0 +1,88 @@
+"""The backend protocol: what every query plane implements.
+
+:class:`~repro.api.service.MobiQueryService` (one world) and
+:class:`~repro.cluster.service.ClusterService` (many regional worlds behind
+one router) expose the same five-verb surface, so callers — the scenario
+runner, the CLI, the perf harness, user code — are written once against
+:class:`QueryBackend` and cannot tell a cluster from a single world:
+
+* ``submit(request) -> SessionHandle`` — admission + session creation; the
+  handle carries the whole submit/stream/cancel/result lifecycle.
+* ``advance(until)`` — drive the simulated clock(s) to an absolute time.
+* ``cancel(handle)`` — tear one session down mid-run (idempotent).
+* ``stats() -> BackendStats`` — a uniform counter snapshot.
+* ``close() -> WorkloadResult`` — run to the horizon, score every admitted
+  session, and seal the backend (idempotent; later ``submit`` raises).
+
+The protocol is ``runtime_checkable`` so tests can assert conformance
+structurally (``isinstance(backend, QueryBackend)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..workload.engine import WorkloadResult
+    from .requests import QueryRequest
+    from .service import SessionHandle
+
+
+@dataclass(frozen=True)
+class BackendStats:
+    """A uniform snapshot of one backend's counters.
+
+    For a cluster these are aggregates over every shard (``now`` is the
+    least-advanced shard clock, so it is a safe "all shards reached" time).
+    """
+
+    #: simulated time reached (min over shards for a cluster)
+    now: float
+    #: kernel events executed (summed over shards)
+    events_executed: int
+    frames_sent: int
+    frames_collided: int
+    frames_delivered: int
+    #: always-on backbone nodes (summed over shards)
+    backbone_size: int
+    #: how many independent worlds serve this backend (1 = single service)
+    shards: int = 1
+    #: session lifecycle tallies
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+
+
+@runtime_checkable
+class QueryBackend(Protocol):
+    """The service-facing query plane (single world or sharded cluster)."""
+
+    @property
+    def duration_s(self) -> float:
+        """The service horizon (end of the simulated day)."""
+        ...
+
+    def submit(self, request: "QueryRequest") -> "SessionHandle":
+        """Submit one query; returns its handle (possibly rejected)."""
+        ...
+
+    def advance(self, until: float) -> None:
+        """Advance the simulated clock(s) to absolute time ``until``."""
+        ...
+
+    def cancel(self, handle: "SessionHandle") -> None:
+        """Tear one session down mid-run (idempotent)."""
+        ...
+
+    def stats(self) -> BackendStats:
+        """A snapshot of the backend's counters."""
+        ...
+
+    def close(self) -> "WorkloadResult":
+        """Run to the horizon, score every session, seal the backend."""
+        ...
+
+
+__all__ = ["BackendStats", "QueryBackend"]

@@ -16,18 +16,24 @@ deterministic motion (``{"kind": "patrol", "waypoints": [[x, y], ...],
 "speed": 4.0, "loops": 4}``); without one the service synthesises the
 paper's random-direction walk.
 
-Four scenarios are built in: ``paper-default`` (the Section 6.1 single
+Five scenarios are built in: ``paper-default`` (the Section 6.1 single
 user), ``patrol-fleet`` (6 robots on rectangular beats), ``rush-hour-
 burst`` (a simultaneous 12-user burst tamed by server-side phase
-assignment), and ``heterogeneous-mix`` (8 users with mixed periods,
-radii, aggregations and freshness bounds — the ROADMAP's heterogeneous-
-workload item).
+assignment), ``heterogeneous-mix`` (8 users with mixed periods, radii,
+aggregations and freshness bounds — the ROADMAP's heterogeneous-workload
+item), and ``cluster_scale_64users`` (64 users on 4 regional shards —
+the scale-out scenario ``make bench-cluster`` times).
+
+A spec may also ask for the sharded backend: ``shards: 4`` partitions
+the field into regional worlds (``partitioner`` picks the scheme) and
+``workers: 4`` runs the batch path across worker processes; ``shards:
+1`` — the default — is the classic single world.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Dict, List, Optional, Tuple
 
 from ..core.query import Aggregation
@@ -37,11 +43,30 @@ from ..mobility.models import patrol_path
 from ..net.network import NetworkConfig
 from ..workload.engine import WorkloadResult
 from .admission import make_admission_policy
+from .backend import QueryBackend
 from .requests import QueryRequest
 from .service import MobiQueryService, SessionHandle
 
 #: request-template keys that are not QueryRequest fields
 _EXPANSION_KEYS = ("count", "spacing_s", "path", "aggregation")
+
+#: every key a request template may carry (QueryRequest fields + expansion)
+_REQUEST_KEYS = frozenset(
+    f.name for f in dataclass_fields(QueryRequest)
+) | set(_EXPANSION_KEYS)
+
+#: every key the ``network`` override dict may carry
+_NETWORK_KEYS = frozenset(f.name for f in dataclass_fields(NetworkConfig))
+
+
+def _reject_unknown_keys(data: Dict, known: frozenset, what: str) -> None:
+    """One-line rejection naming the first bad key (strict spec loading)."""
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {what} key {unknown[0]!r}; expected one of "
+            f"{sorted(known)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -59,12 +84,39 @@ class ScenarioSpec:
     admission: Dict = field(default_factory=dict)
     #: request templates (see module docstring)
     requests: Tuple[Dict, ...] = ()
+    #: regional shards (1 = one world, the classic MobiQueryService)
+    shards: int = 1
+    #: worker processes for the cluster batch path (0 = in-process)
+    workers: int = 0
+    #: spatial partitioner registry name (see repro.cluster.PARTITIONERS)
+    partitioner: str = "balanced-kd"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a scenario needs a name")
         if self.duration_s <= 0:
             raise ValueError(f"duration must be > 0, got {self.duration_s:g}")
+        for knob, value in (("shards", self.shards), ("workers", self.workers)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(
+                    f"{knob} must be an integer, got {value!r}"
+                )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        from ..cluster.partition import PARTITIONERS  # lazy: avoid cycle
+
+        if self.partitioner not in PARTITIONERS:
+            raise ValueError(
+                f"unknown partitioner {self.partitioner!r}; expected one of "
+                f"{sorted(PARTITIONERS)}"
+            )
+        # Strict template validation: a typo'd key fails at load time with
+        # one clear sentence, not as a TypeError deep in request expansion.
+        for template in self.requests:
+            _reject_unknown_keys(template, _REQUEST_KEYS, "request-template")
+        _reject_unknown_keys(self.network, _NETWORK_KEYS, "network")
 
     @staticmethod
     def from_dict(data: Dict) -> "ScenarioSpec":
@@ -78,6 +130,9 @@ class ScenarioSpec:
             "network",
             "admission",
             "requests",
+            "shards",
+            "workers",
+            "partitioner",
         }
         unknown = set(data) - known
         if unknown:
@@ -101,19 +156,31 @@ class ScenarioSpec:
             "network": dict(self.network),
             "admission": dict(self.admission),
             "requests": [dict(r) for r in self.requests],
+            "shards": self.shards,
+            "workers": self.workers,
+            "partitioner": self.partitioner,
         }
 
     def with_overrides(
         self,
         duration_s: Optional[float] = None,
         seed: Optional[int] = None,
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        partitioner: Optional[str] = None,
     ) -> "ScenarioSpec":
-        """The same scenario at a different scale or seed (CLI knobs)."""
+        """The same scenario at a different scale, seed or shard layout."""
         payload = self.to_dict()
         if duration_s is not None:
             payload["duration_s"] = duration_s
         if seed is not None:
             payload["seed"] = seed
+        if shards is not None:
+            payload["shards"] = shards
+        if workers is not None:
+            payload["workers"] = workers
+        if partitioner is not None:
+            payload["partitioner"] = partitioner
         return ScenarioSpec.from_dict(payload)
 
 
@@ -192,6 +259,8 @@ class ScenarioResult:
     frames_collided: int
     frames_delivered: int
     backbone_size: int
+    #: independent worlds that served the run (1 = single service)
+    shards: int = 1
 
     @property
     def admitted(self) -> int:
@@ -210,16 +279,42 @@ class ScenarioResult:
         return self.workload.min_success_ratio()
 
 
-def build_service(spec: ScenarioSpec) -> MobiQueryService:
-    """The service for a scenario (world + admission policy, no sessions)."""
-    config = ExperimentConfig(
+def _scenario_config(spec: ScenarioSpec) -> ExperimentConfig:
+    return ExperimentConfig(
         mode=spec.mode,
         seed=spec.seed,
         duration_s=spec.duration_s,
         network=NetworkConfig(**spec.network),
     )
+
+
+def build_service(spec: ScenarioSpec) -> MobiQueryService:
+    """The single-world service for a scenario (ignores ``shards``)."""
     return MobiQueryService(
-        config, admission=make_admission_policy(spec.admission)
+        _scenario_config(spec), admission=make_admission_policy(spec.admission)
+    )
+
+
+def build_backend(spec: ScenarioSpec) -> QueryBackend:
+    """The backend a scenario asks for: one world, or a regional cluster.
+
+    ``shards: 1`` (the default) builds the classic single-world
+    :class:`MobiQueryService` — ``workers``/``partitioner`` only apply to
+    a cluster and are ignored for one world; ``shards >= 2`` builds a
+    :class:`~repro.cluster.service.ClusterService` with the spec's
+    partitioner and worker count.  Either way the caller only sees the
+    :class:`QueryBackend` surface.
+    """
+    if spec.shards <= 1:
+        return build_service(spec)
+    from ..cluster.service import ClusterService  # lazy: avoid cycle
+
+    return ClusterService(
+        _scenario_config(spec),
+        shards=spec.shards,
+        admission=make_admission_policy(spec.admission),
+        partitioner=spec.partitioner,
+        workers=spec.workers,
     )
 
 
@@ -227,22 +322,34 @@ def run_scenario(
     spec: ScenarioSpec,
     duration_s: Optional[float] = None,
     seed: Optional[int] = None,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    backend: Optional[QueryBackend] = None,
 ) -> ScenarioResult:
-    """Run one scenario end to end and score every admitted session."""
-    spec = spec.with_overrides(duration_s=duration_s, seed=seed)
-    service = build_service(spec)
-    handles = [service.submit(request) for request in build_requests(spec)]
-    workload = service.finalize()
-    channel = service.network.channel
+    """Run one scenario end to end and score every admitted session.
+
+    ``backend`` injects a pre-built backend (the cluster benchmarks use
+    this to time an explicit ``ClusterService(shards=1)`` against the
+    default single-world path); otherwise one is built from the spec.
+    """
+    spec = spec.with_overrides(
+        duration_s=duration_s, seed=seed, shards=shards, workers=workers
+    )
+    if backend is None:
+        backend = build_backend(spec)
+    handles = [backend.submit(request) for request in build_requests(spec)]
+    workload = backend.close()
+    stats = backend.stats()
     return ScenarioResult(
         scenario=spec,
         workload=workload,
         handles=handles,
-        events_executed=service.events_executed,
-        frames_sent=channel.frames_sent,
-        frames_collided=channel.frames_collided,
-        frames_delivered=channel.frames_delivered,
-        backbone_size=service.backbone_size,
+        events_executed=stats.events_executed,
+        frames_sent=stats.frames_sent,
+        frames_collided=stats.frames_collided,
+        frames_delivered=stats.frames_delivered,
+        backbone_size=stats.backbone_size,
+        shards=stats.shards,
     )
 
 
@@ -348,6 +455,29 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             seed=5,
             duration_s=120.0,
             requests=_HETERO_REQUESTS,
+        ),
+        ScenarioSpec(
+            name="cluster_scale_64users",
+            description=(
+                "64 users spread over 4 regional shards (balanced-kd, "
+                "worker processes when the machine has cores) — the "
+                "scale-out scenario; run with --shards 1 to time the "
+                "same fleet on one world."
+            ),
+            mode="jit",
+            seed=1,
+            duration_s=60.0,
+            shards=4,
+            workers=4,
+            requests=(
+                {
+                    "radius_m": 60.0,
+                    "period_s": 2.0,
+                    "freshness_s": 1.0,
+                    "count": 64,
+                    "spacing_s": 0.875,
+                },
+            ),
         ),
     )
 }

@@ -69,6 +69,7 @@ from ..sim.trace import Tracer
 from ..workload.engine import Workload, WorkloadResult
 from ..workload.session import SessionResult, UserPlan, UserSession
 from .admission import AcceptAllPolicy, AdmissionPolicy
+from .backend import BackendStats
 from .requests import PeriodOutcome, QueryRequest
 
 #: extra simulated time after the last deadline (late stragglers, GC)
@@ -83,6 +84,41 @@ STATUS_COMPLETED = "completed"
 
 class AdmissionError(ValueError):
     """Raised by :meth:`SessionHandle.require_admitted` on a rejected handle."""
+
+
+def resolve_user_id(handles: List["SessionHandle"], user_id: Optional[int]) -> int:
+    """The user-identity rule: lowest-free auto-assignment, live-collision
+    rejection for explicit ids.
+
+    Shared by :class:`MobiQueryService` and the cluster router — the
+    single-shard identity guarantee (a one-shard cluster assigns the exact
+    id sequence a single service would) depends on both using exactly this
+    function.  Auto-assignment skips every id an *accepted* session ever
+    used (cancelled included: their streams were consumed); an explicit id
+    only collides with a live (accepted, uncancelled) session.
+    """
+    if user_id is None:
+        used = {
+            h.spec.user_id
+            for h in handles
+            if h.accepted and h.spec is not None
+        }
+        candidate = 0
+        while candidate in used:
+            candidate += 1
+        return candidate
+    if any(
+        h.spec is not None
+        and h.spec.user_id == user_id
+        and h.accepted
+        and h.status != STATUS_CANCELLED
+        for h in handles
+    ):
+        raise ValueError(
+            f"user {user_id} already has a live session; cancel it first "
+            f"or submit without a user_id"
+        )
+    return user_id
 
 
 def user_stream(base: str, user_id: int) -> str:
@@ -295,6 +331,12 @@ class SessionHandle:
 class MobiQueryService:
     """Submit/stream/cancel façade over one shared simulated world.
 
+    This is the single-world implementation of the
+    :class:`~repro.api.backend.QueryBackend` protocol
+    (``submit``/``advance``/``cancel``/``stats``/``close``); the sharded
+    :class:`~repro.cluster.service.ClusterService` implements the same
+    surface over many regional worlds.
+
     Args:
         config: the world description — service variant (``mode``), seed,
             horizon (``duration_s``), network, default mobility and profile
@@ -358,6 +400,7 @@ class MobiQueryService:
         self.handles: List[SessionHandle] = []
         self._admitted_total = 0
         self._completed = False
+        self._closed_result: Optional[WorkloadResult] = None
 
     # ------------------------------------------------------------------
     # Introspection the policies and adapters need
@@ -387,13 +430,6 @@ class MobiQueryService:
                 live.append(handle)
         return live
 
-    def _used_user_ids(self) -> set:
-        return {
-            h.spec.user_id
-            for h in self.handles
-            if h.accepted and h.spec is not None
-        }
-
     # ------------------------------------------------------------------
     # The lifecycle: submit / run / cancel / finalize
     # ------------------------------------------------------------------
@@ -413,23 +449,7 @@ class MobiQueryService:
             raise ValueError("an idle-mode service accepts no queries")
         if self._completed:
             raise ValueError("the service horizon has passed (run finished)")
-        user_id = request.user_id
-        if user_id is None:
-            used = self._used_user_ids()
-            user_id = 0
-            while user_id in used:
-                user_id += 1
-        elif any(
-            h.spec is not None
-            and h.spec.user_id == user_id
-            and h.accepted
-            and h.status != STATUS_CANCELLED
-            for h in self.handles
-        ):
-            raise ValueError(
-                f"user {user_id} already has a live session; cancel it first "
-                f"or submit without a user_id"
-            )
+        user_id = resolve_user_id(self.handles, request.user_id)
         start_s = max(request.start_s, self.sim.now)
         path = request.path
         if path is None:
@@ -563,6 +583,10 @@ class MobiQueryService:
         if t > self.sim.now:
             self.sim.run(until=t)
 
+    def advance(self, until: float) -> None:
+        """Advance the world's clock to ``until`` (the backend verb)."""
+        self.run_until(until)
+
     def run(self) -> None:
         """Run the world to the service horizon (plus the straggler tail)."""
         self.run_until(self.duration_s + RUN_TAIL_S)
@@ -595,6 +619,35 @@ class MobiQueryService:
             )
         return handle._result
 
+    def stats(self) -> BackendStats:
+        """A uniform counter snapshot (the backend verb)."""
+        channel = self.network.channel
+        return BackendStats(
+            now=self.sim.now,
+            events_executed=self.sim.events_executed,
+            frames_sent=channel.frames_sent,
+            frames_collided=channel.frames_collided,
+            frames_delivered=channel.frames_delivered,
+            backbone_size=self.backbone_size,
+            shards=1,
+            submitted=len(self.handles),
+            admitted=self._admitted_total,
+            rejected=sum(1 for h in self.handles if not h.accepted),
+            cancelled=sum(
+                1 for h in self.handles if h.status == STATUS_CANCELLED
+            ),
+        )
+
+    def close(self) -> WorkloadResult:
+        """Run to the horizon, score everything, seal the service.
+
+        Idempotent: the scored result is cached on first close and later
+        calls return it unchanged; ``submit`` after close raises.
+        """
+        if self._closed_result is None:
+            self._closed_result = self.finalize()
+        return self._closed_result
+
     # ------------------------------------------------------------------
     # Convenience metrics mirrors (the RunResult fields)
     # ------------------------------------------------------------------
@@ -616,6 +669,7 @@ class MobiQueryService:
 # Re-exported for the legacy runner's scoring path
 __all__ = [
     "AdmissionError",
+    "BackendStats",
     "MobiQueryService",
     "SessionHandle",
     "RUN_TAIL_S",
@@ -625,6 +679,7 @@ __all__ = [
     "STATUS_REJECTED",
     "make_profile_provider",
     "make_user_path",
+    "resolve_user_id",
     "user_stream",
     "build_session_metrics",
 ]

@@ -99,6 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="data-freshness bound Tfresh in seconds (default 1; must "
         "not exceed the period)",
     )
+    run_p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="regional shards serving the fleet (default 1 = one world)",
+    )
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the sharded batch path (default 0)",
+    )
 
     scen_p = sub.add_parser(
         "scenario", help="run a named declarative scenario via the service API"
@@ -120,6 +132,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scen_p.add_argument(
         "--seed", type=int, default=None, help="override the seed"
+    )
+    scen_p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="override the shard count (1 = single world, N = cluster)",
+    )
+    scen_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the cluster worker-process count",
     )
 
     fig_p = sub.add_parser("fig", help="regenerate a paper figure")
@@ -152,6 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.20,
         help="allowed fractional events/sec regression vs --baseline (default 0.20)",
+    )
+    bench_p.add_argument(
+        "--cluster",
+        action="store_true",
+        help="time cluster_scale_64users (shards=1 vs sharded+workers), "
+        "verify the single-shard fingerprint, and merge a 'cluster' "
+        "section into the report",
     )
 
     prof_p = sub.add_parser(
@@ -193,8 +224,58 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_run_cluster(args: argparse.Namespace, config: ExperimentConfig) -> int:
+    """``repro run --shards N``: the same fleet on a regional cluster."""
+    from .api.requests import QueryRequest
+    from .cluster.service import ClusterService
+    from .sim.rng import RandomStreams
+    from .workload.arrivals import arrival_times
+
+    cluster = ClusterService(
+        config, shards=args.shards, workers=max(args.workers, 0)
+    )
+    starts = arrival_times(
+        config.num_users,
+        process=config.arrival_process,
+        spacing_s=config.arrival_spacing_s,
+        rng=RandomStreams(config.seed).stream("arrivals"),
+    )
+    for start in starts:
+        cluster.submit(
+            QueryRequest(
+                radius_m=config.query.radius_m,
+                period_s=config.query.period_s,
+                freshness_s=config.query.freshness_s,
+                start_s=start,
+            )
+        )
+    workload = cluster.close()
+    stats = cluster.stats()
+    print(
+        f"mode={args.mode} seed={args.seed} duration={args.duration:.0f}s "
+        f"shards={cluster.num_shards} partitioner={cluster.partitioner.name} "
+        f"users={config.num_users} backbone={stats.backbone_size}"
+        + (" (parallel workers)" if cluster.parallel_used else "")
+    )
+    print("\n user  shard  start  periods  success  fidelity")
+    print(" ----  -----  -----  -------  -------  --------")
+    for handle in cluster.admitted_handles():
+        session = handle.result()
+        m = session.metrics
+        print(f" {session.user_id:>4}  {cluster.shard_of(handle):>5}  "
+              f"{session.start_s:4.1f}s  {m.num_periods:>7}  "
+              f"{m.success_ratio():6.1%}  {m.mean_fidelity():7.1%}")
+    print(f"\nfleet mean success: {workload.mean_success_ratio():.1%}")
+    print(f"fleet worst user  : {workload.min_success_ratio():.1%}")
+    print(f"frames on air: {stats.frames_sent}, collided receptions: "
+          f"{stats.frames_collided}, events: {stats.events_executed}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
+        if args.shards < 1:
+            raise ValueError(f"--shards must be >= 1, got {args.shards}")
         config = ExperimentConfig(
             mode=args.mode,
             seed=args.seed,
@@ -209,6 +290,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             arrival_process=args.arrival,
             arrival_spacing_s=args.spacing,
         )
+        if args.shards > 1:
+            return _cmd_run_cluster(args, config)
+        if args.workers > 0:
+            print(
+                "repro run: note: --workers only applies with --shards >= 2; "
+                "running one world in-process",
+                file=sys.stderr,
+            )
         result = run_experiment(config)
     except ValueError as exc:
         print(f"repro run: error: {exc}", file=sys.stderr)
@@ -274,14 +363,31 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        result = run_scenario(spec, duration_s=args.duration, seed=args.seed)
+        effective_shards = args.shards if args.shards is not None else spec.shards
+        effective_workers = (
+            args.workers if args.workers is not None else spec.workers
+        )
+        if effective_workers > 0 and effective_shards <= 1:
+            print(
+                "repro scenario: note: workers only apply to a sharded "
+                "cluster (--shards >= 2); running one world in-process",
+                file=sys.stderr,
+            )
+        result = run_scenario(
+            spec,
+            duration_s=args.duration,
+            seed=args.seed,
+            shards=args.shards,
+            workers=args.workers,
+        )
     except (KeyError, OSError, ValueError, TypeError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"repro scenario: error: {message}", file=sys.stderr)
         return 2
     spec = result.scenario
     print(f"scenario={spec.name} mode={spec.mode} seed={spec.seed} "
-          f"duration={spec.duration_s:.0f}s backbone={result.backbone_size}")
+          f"duration={spec.duration_s:.0f}s backbone={result.backbone_size}"
+          + (f" shards={result.shards}" if result.shards > 1 else ""))
     if spec.description:
         print(spec.description)
     print("\n user  status    start  period  radius  agg    success  fidelity")
@@ -354,6 +460,57 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_cluster(args: argparse.Namespace) -> int:
+    """``repro bench --cluster``: the scale-out bench + identity gate."""
+    import os
+
+    from .experiments.perf import (
+        cluster_fingerprint_mismatches,
+        format_cluster_report,
+        load_report,
+        run_cluster_suite,
+        write_report,
+    )
+
+    cluster_report = run_cluster_suite(scale=args.scale, repeats=args.repeats)
+    # Merge into the existing report so the cluster numbers travel in the
+    # same BENCH_perf.json artifact as the hot-path scenarios.
+    try:
+        report = load_report(args.output)
+    except (OSError, ValueError):
+        report = {"scale": args.scale, "scenarios": {}}
+    report["cluster"] = cluster_report
+    write_report(report, args.output)
+    print(format_cluster_report(cluster_report))
+    print(f"\ncluster section merged into {args.output}")
+    failures = cluster_fingerprint_mismatches(cluster_report)
+    if failures:
+        for failure in failures:
+            print(f"repro bench: DETERMINISM MISMATCH: {failure}", file=sys.stderr)
+        return 3
+    speedup = cluster_report["speedup_sharded_vs_single"]
+    if (os.cpu_count() or 1) > 1:
+        # Structural gate, not a noise gate: on shared runners a single
+        # timing sample can wobble well past 1.0x, so only a sharded run
+        # 20%+ slower than one world fails (that magnitude means the
+        # cluster path itself regressed, not the machine).
+        if speedup < 0.8:
+            print(
+                f"repro bench: CLUSTER REGRESSION: sharded run is "
+                f"{speedup}x vs one world on a multi-core machine "
+                f"(floor 0.8x)",
+                file=sys.stderr,
+            )
+            return 3
+        if speedup < 1.0:
+            print(
+                f"repro bench: warning: sharded speedup only {speedup}x "
+                f"(timing noise or an overloaded machine)",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments.perf import (
         check_regressions,
@@ -367,6 +524,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.repeats < 1:
         print("repro bench: error: --repeats must be >= 1", file=sys.stderr)
         return 2
+    if args.cluster:
+        return _cmd_bench_cluster(args)
     baseline_report = None
     if args.baseline:
         # Load (and validate) the reference before the multi-second suite
@@ -377,6 +536,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"repro bench: error: cannot read baseline: {exc}", file=sys.stderr)
             return 2
     report = run_perf_suite(scale=args.scale, repeats=args.repeats)
+    # Keep a previously merged cluster section (repro bench --cluster)
+    # alive across hot-path re-measurements of the same artifact.
+    try:
+        previous = load_report(args.output)
+    except (OSError, ValueError):
+        previous = None
+    if previous and "cluster" in previous:
+        report["cluster"] = previous["cluster"]
     write_report(report, args.output)
     print(format_perf_report(report))
     print(f"\nreport written to {args.output}")

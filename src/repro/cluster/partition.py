@@ -1,0 +1,186 @@
+"""Spatial partitioners: how the cluster splits the field into shards.
+
+A :class:`Partitioner` turns one field rectangle into ``k`` disjoint shard
+regions whose union is the field.  Two ship:
+
+* :class:`GridStripePartitioner` — ``k`` equal vertical stripes.  The
+  simplest possible scheme; stripes get thin for large ``k`` (a 450 m
+  field split 8 ways leaves 56 m-wide shards, narrower than one radio
+  range), so it is mainly the didactic/baseline choice.
+* :class:`BalancedKDPartitioner` — recursive longest-side halving (a kd
+  tree over area): every split divides the region perpendicular to its
+  longer side, in proportion to how many leaves each half must produce.
+  Cells stay near-square at any ``k``, which keeps per-shard worlds
+  usable (a shard should comfortably contain a query footprint).
+
+Partitions are pure functions of ``(region, k)`` — no randomness — so a
+cluster's shard layout is part of its reproducible identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..geometry.shapes import Rect
+
+
+def overlap_area(a: Rect, b: Rect) -> float:
+    """Area of the intersection of two rectangles (0.0 when disjoint)."""
+    w = min(a.x_max, b.x_max) - max(a.x_min, b.x_min)
+    h = min(a.y_max, b.y_max) - max(a.y_min, b.y_min)
+    if w <= 0.0 or h <= 0.0:
+        return 0.0
+    return w * h
+
+
+class Partitioner:
+    """Base class: split a region into ``k`` disjoint covering rects."""
+
+    #: registry name (scenario specs and the CLI)
+    name = "partitioner"
+
+    def partition(self, region: Rect, k: int) -> List[Rect]:
+        """The ``k`` shard regions, in stable shard-index order.
+
+        Must return exactly ``k`` disjoint rectangles covering ``region``;
+        ``k == 1`` must return ``[region]`` unchanged (the single-shard
+        cluster is bit-identical to a single service).
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human description (CLI output)."""
+        return self.name
+
+
+def _check_k(region: Rect, k: int) -> None:
+    if k < 1:
+        raise ValueError(f"shard count must be >= 1, got {k}")
+    if region.width <= 0 or region.height <= 0:
+        raise ValueError("cannot partition a degenerate (zero-area) region")
+
+
+class GridStripePartitioner(Partitioner):
+    """``k`` equal vertical stripes, left to right."""
+
+    name = "grid-stripe"
+
+    def partition(self, region: Rect, k: int) -> List[Rect]:
+        _check_k(region, k)
+        if k == 1:
+            return [region]
+        width = region.width / k
+        stripes = []
+        for i in range(k):
+            x_min = region.x_min + i * width
+            # The last stripe takes the exact region edge so float
+            # accumulation can never leave a sliver uncovered.
+            x_max = region.x_max if i == k - 1 else region.x_min + (i + 1) * width
+            stripes.append(Rect(x_min, region.y_min, x_max, region.y_max))
+        return stripes
+
+    def describe(self) -> str:
+        return "grid-stripe(vertical stripes)"
+
+
+class BalancedKDPartitioner(Partitioner):
+    """Recursive longest-side halving: near-square cells for any ``k``.
+
+    Each split is perpendicular to the region's longer side and divides
+    the area in proportion ``k_left : k_right`` (``k_left = k // 2``), so
+    every leaf ends up with the same area even when ``k`` is not a power
+    of two.  Leaf order is left/bottom first, giving a stable shard
+    numbering.
+    """
+
+    name = "balanced-kd"
+
+    def partition(self, region: Rect, k: int) -> List[Rect]:
+        _check_k(region, k)
+        return self._split(region, k)
+
+    def _split(self, region: Rect, k: int) -> List[Rect]:
+        if k == 1:
+            return [region]
+        k_lo = k // 2
+        frac = k_lo / k
+        if region.width >= region.height:
+            cut = region.x_min + region.width * frac
+            lo = Rect(region.x_min, region.y_min, cut, region.y_max)
+            hi = Rect(cut, region.y_min, region.x_max, region.y_max)
+        else:
+            cut = region.y_min + region.height * frac
+            lo = Rect(region.x_min, region.y_min, region.x_max, cut)
+            hi = Rect(region.x_min, cut, region.x_max, region.y_max)
+        return self._split(lo, k_lo) + self._split(hi, k - k_lo)
+
+    def describe(self) -> str:
+        return "balanced-kd(longest-side halving)"
+
+
+#: partitioner-name registry for scenario specs and the CLI
+PARTITIONERS: Dict[str, Type[Partitioner]] = {
+    GridStripePartitioner.name: GridStripePartitioner,
+    BalancedKDPartitioner.name: BalancedKDPartitioner,
+}
+
+#: the default scheme (near-square cells scale to any shard count)
+DEFAULT_PARTITIONER = BalancedKDPartitioner.name
+
+
+def make_partitioner(spec) -> Partitioner:
+    """Build a partitioner from its registry name (or pass one through)."""
+    if isinstance(spec, Partitioner):
+        return spec
+    if spec is None:
+        spec = DEFAULT_PARTITIONER
+    cls = PARTITIONERS.get(spec)
+    if cls is None:
+        raise ValueError(
+            f"unknown partitioner {spec!r}; expected one of {sorted(PARTITIONERS)}"
+        )
+    return cls()
+
+
+def shard_node_counts(total_nodes: int, regions: List[Rect]) -> List[int]:
+    """Distribute ``total_nodes`` over shard regions proportional to area.
+
+    Largest-remainder rounding: counts sum exactly to ``total_nodes`` and
+    every shard keeps at least one node (a world needs a sensor to exist),
+    so the cluster preserves the single-world node density and total.
+    """
+    if total_nodes < len(regions):
+        raise ValueError(
+            f"{total_nodes} nodes cannot populate {len(regions)} shards "
+            f"(every shard world needs at least one node)"
+        )
+    total_area = sum(r.area() for r in regions)
+    shares = [total_nodes * r.area() / total_area for r in regions]
+    counts = [max(1, int(s)) for s in shares]
+    remainders = sorted(
+        range(len(regions)),
+        key=lambda i: (shares[i] - int(shares[i]), -i),
+        reverse=True,
+    )
+    idx = 0
+    while sum(counts) < total_nodes:
+        counts[remainders[idx % len(remainders)]] += 1
+        idx += 1
+    while sum(counts) > total_nodes:  # min-1 clamps can overshoot
+        donor = max(range(len(counts)), key=lambda i: counts[i])
+        if counts[donor] <= 1:  # pragma: no cover - guarded by the check above
+            break
+        counts[donor] -= 1
+    return counts
+
+
+__all__ = [
+    "Partitioner",
+    "GridStripePartitioner",
+    "BalancedKDPartitioner",
+    "PARTITIONERS",
+    "DEFAULT_PARTITIONER",
+    "make_partitioner",
+    "overlap_area",
+    "shard_node_counts",
+]

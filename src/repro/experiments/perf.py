@@ -110,6 +110,35 @@ EVENT_FINGERPRINTS: Dict[str, int] = {
     "hetero_mix_8users": 50203,
 }
 
+#: The cluster scale-out scenario (``make bench-cluster``): 64 users on the
+#: ``cluster_scale_64users`` registry spec, timed twice — once on one world
+#: (``shards=1``, explicitly through ``ClusterService`` so the bench also
+#: proves the single-shard identity) and once sharded (``shards=4,
+#: workers=4``; workers engage on multi-core machines, fall back to the
+#: in-process lockstep path on 1-CPU boxes).
+CLUSTER_SCENARIO = "cluster_scale_64users"
+
+#: Quick-scale result fingerprints for the cluster bench.  ``shards1`` was
+#: captured from **MobiQueryService** (the golden identity target): the
+#: ``ClusterService(shards=1)`` measurement must reproduce it bit for bit.
+#: ``shards4`` pins the sharded run's own determinism (4 independent
+#: worlds, seeds 1..4) — the two rows are different physics (different
+#: topologies and fleet densities), never compared to each other.
+CLUSTER_RESULT_FINGERPRINTS: Dict[str, Dict[str, object]] = {
+    # Captured from a MobiQueryService run of the same spec (verified equal
+    # to the ClusterService(shards=1) measurement in the same session).
+    "shards1": {
+        "frames_sent": 24801,
+        "frames_delivered": 782952,
+        "mean_success": 0.766858,
+    },
+    "shards4": {
+        "frames_sent": 24308,
+        "frames_delivered": 639339,
+        "mean_success": 0.788292,
+    },
+}
+
 
 
 @dataclass(frozen=True)
@@ -319,6 +348,166 @@ def fingerprint_mismatches(report: Dict) -> List[str]:
                 "in the same commit and say so in the commit message"
             )
     return problems
+
+
+def cluster_scenario(scale: Optional[str] = None):
+    """The ``cluster_scale_64users`` spec at ``scale`` (quick|paper)."""
+    from ..api.scenarios import get_scenario
+
+    spec = get_scenario(CLUSTER_SCENARIO)
+    if (scale or bench_scale()) == SCALE_PAPER:
+        spec = spec.with_overrides(duration_s=240.0)
+    return spec
+
+
+def _measure_cluster_once(spec, shards: int, workers: int) -> Dict:
+    """One timed cluster run; returns the report entry for it."""
+    from ..api.scenarios import run_scenario
+    from ..cluster.service import ClusterService
+    from .config import ExperimentConfig
+    from ..net.network import NetworkConfig
+
+    config = ExperimentConfig(
+        mode=spec.mode,
+        seed=spec.seed,
+        duration_s=spec.duration_s,
+        network=NetworkConfig(**spec.network),
+    )
+    # Always measure through ClusterService — for shards=1 that *is* the
+    # point: the bench doubles as the single-shard identity gate.
+    backend = ClusterService(
+        config, shards=shards, workers=workers, partitioner=spec.partitioner
+    )
+    started = time.perf_counter()
+    result = run_scenario(spec, backend=backend)
+    wall = time.perf_counter() - started
+    return {
+        "shards": shards,
+        "workers": workers,
+        "parallel_used": backend.parallel_used,
+        "wall_s": round(wall, 4),
+        "events_executed": result.events_executed,
+        "frames_sent": result.frames_sent,
+        "frames_collided": result.frames_collided,
+        "frames_delivered": result.frames_delivered,
+        "mean_success": round(result.mean_success, 6),
+        "min_success": round(result.min_success, 6),
+        "backbone_size": result.backbone_size,
+    }
+
+
+def _measure_cluster(spec, shards: int, workers: int, repeats: int) -> Dict:
+    """Best-of-``repeats`` timed cluster run (min wall, like the hot paths)."""
+    best: Optional[Dict] = None
+    for _ in range(repeats):
+        entry = _measure_cluster_once(spec, shards, workers)
+        if best is None or entry["wall_s"] < best["wall_s"]:
+            best = entry
+    assert best is not None
+    return best
+
+
+def run_cluster_suite(
+    scale: Optional[str] = None,
+    repeats: int = 1,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> Dict:
+    """Time ``cluster_scale_64users`` on one world vs a sharded cluster.
+
+    Returns the ``cluster`` report section: a ``shards1`` entry (the
+    single-shard identity run), a ``shardsN`` entry (the sharded run,
+    worker processes when the machine has the cores), and the wall-clock
+    ``speedup`` of sharded over single.
+    """
+    import os
+
+    scale = scale or bench_scale()
+    spec = cluster_scenario(scale)
+    shards = shards if shards is not None else spec.shards
+    workers = workers if workers is not None else spec.workers
+    if shards < 2:
+        raise ValueError(
+            f"the cluster suite compares a sharded layout against one "
+            f"world — shards must be >= 2, got {shards}"
+        )
+    single = _measure_cluster(spec, shards=1, workers=0, repeats=repeats)
+    sharded = _measure_cluster(
+        spec, shards=shards, workers=workers, repeats=repeats
+    )
+    return {
+        "scenario": CLUSTER_SCENARIO,
+        "scale": scale,
+        "repeats": repeats,
+        "duration_s": spec.duration_s,
+        "users": sum(int(t.get("count", 1)) for t in spec.requests),
+        "partitioner": spec.partitioner,
+        "cpu_count": os.cpu_count() or 1,
+        "shards1": single,
+        f"shards{shards}": sharded,
+        "speedup_sharded_vs_single": round(
+            single["wall_s"] / sharded["wall_s"], 2
+        ),
+    }
+
+
+def cluster_fingerprint_mismatches(cluster_report: Dict) -> List[str]:
+    """Determinism gate for the cluster bench (quick scale only).
+
+    ``shards1`` must reproduce the pinned **MobiQueryService** fingerprint
+    exactly — that is the single-shard identity guarantee; the sharded
+    entry must reproduce its own pin (4 deterministic worlds).
+    """
+    if cluster_report.get("scale") != SCALE_QUICK:
+        return []
+    problems: List[str] = []
+    for key, expected in CLUSTER_RESULT_FINGERPRINTS.items():
+        entry = cluster_report.get(key)
+        if entry is None:
+            continue  # a non-default shard count was measured
+        for field, value in expected.items():
+            if entry.get(field) != value:
+                problems.append(
+                    f"cluster {key}.{field}: expected {value}, measured "
+                    f"{entry.get(field)} — "
+                    + (
+                        "the single-shard cluster no longer matches the "
+                        "single-world service"
+                        if key == "shards1"
+                        else "the sharded run's results changed"
+                    )
+                )
+    return problems
+
+
+def format_cluster_report(cluster_report: Dict) -> str:
+    """Render the cluster section as the standard perf table."""
+    from .reporting import format_table
+
+    rows = []
+    for key, entry in cluster_report.items():
+        if not isinstance(entry, dict):
+            continue
+        rows.append(
+            (
+                key,
+                f"{entry['wall_s']:.3f}",
+                entry["events_executed"],
+                entry["frames_sent"],
+                f"{entry['mean_success']:.4f}",
+                "yes" if entry.get("parallel_used") else "no",
+            )
+        )
+    title = (
+        f"Cluster scale-out ({cluster_report['scenario']}, "
+        f"{cluster_report['users']} users, {cluster_report['scale']} scale) "
+        f"— sharded speedup {cluster_report['speedup_sharded_vs_single']}x"
+    )
+    return format_table(
+        title,
+        ["layout", "wall (s)", "events", "frames", "success", "workers"],
+        rows,
+    )
 
 
 def check_regressions(

@@ -187,36 +187,26 @@ def run_replications_parallel(
 
     Results are returned in seed order and are identical (per seed) to the
     serial path: each worker runs ``run_experiment`` on its own kernel and
-    RNG streams, so parallelism cannot perturb a replication.  Falls back
-    to the serial path for a single seed, for ``max_workers=1``, and when
-    process pools are unavailable (restricted sandboxes).
+    RNG streams, so parallelism cannot perturb a replication.  The pool
+    plumbing is shared with the cluster's worker transport
+    (:func:`repro.cluster.transport.parallel_map`); it falls back to the
+    serial path for a single seed, for ``max_workers=1``, and when process
+    pools are unavailable (restricted sandboxes).
     """
     if len(seeds) <= 1:
         return run_replications(config, seeds)
-    import concurrent.futures
-    import multiprocessing
     import os
 
+    from ..cluster.transport import parallel_map
+
     workers = max_workers or min(len(seeds), os.cpu_count() or 1)
-    if workers <= 1:
-        # One CPU (or caller-limited): a process pool only adds overhead.
-        return run_replications(config, seeds)
-    # fork keeps startup cheap and inherits the imported model code; fall
-    # back to the platform default (spawn) where fork is unavailable.
-    mp_context = None
-    if "fork" in multiprocessing.get_all_start_methods():
-        mp_context = multiprocessing.get_context("fork")
     configs = [config.with_seed(seed) for seed in seeds]
-    try:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=mp_context
-        ) as pool:
-            return list(pool.map(run_experiment, configs))
-    except (OSError, PermissionError, concurrent.futures.BrokenExecutor):
-        # No process support (seccomp'd CI, restricted container) or the
-        # workers were killed (BrokenProcessPool): degrade gracefully to
-        # the serial path rather than fail the experiment.
+    results = parallel_map(run_experiment, configs, max_workers=workers)
+    if results is None:
+        # One CPU, caller-limited, or no process support (seccomp'd CI,
+        # restricted container, killed workers): degrade gracefully.
         return run_replications(config, seeds)
+    return results
 
 
 def mean_success_ratio(results: List[RunResult]) -> float:

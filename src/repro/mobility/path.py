@@ -43,6 +43,7 @@ class PiecewisePath:
         self._last_idx = 0
         self._memo_t = float("nan")
         self._memo_pos = self.waypoints[0].position
+        self._max_speed: float | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -151,6 +152,23 @@ class PiecewisePath:
     def change_times(self) -> List[float]:
         """Times at which the velocity changes (interior waypoints)."""
         return [w.time for w in self.waypoints[1:-1]]
+
+    def max_speed(self) -> float:
+        """The fastest segment speed — a global Lipschitz bound on motion.
+
+        ``|position_at(t2) - position_at(t1)| <= max_speed() * (t2 - t1)``
+        for all t1 <= t2 (the path is clamped outside its span, where the
+        speed is zero).  The channel uses this to skip re-evaluating a
+        proxy that provably cannot have re-entered radio range.
+        """
+        if self._max_speed is None:
+            best = 0.0
+            for a, b in zip(self.waypoints, self.waypoints[1:]):
+                speed = a.position.distance_to(b.position) / (b.time - a.time)
+                if speed > best:
+                    best = speed
+            self._max_speed = best
+        return self._max_speed
 
     def total_distance(self) -> float:
         """Arc length of the whole path."""

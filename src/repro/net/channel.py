@@ -140,6 +140,13 @@ class BroadcastReception:
         self.on_airtime_end: Optional[Callable[[], None]] = None
 
 
+#: Mobile-endpoint count above which ``transmit`` switches its listener
+#: sweep to the memo + Lipschitz-exclusion path.  Below this the direct
+#: per-proxy evaluation is cheaper (measured on the pinned hot paths: the
+#: memo costs ~5% at 16 proxies and saves ~17% at 64).
+MOBILE_MEMO_THRESHOLD = 16
+
+
 class Channel:
     """The shared medium connecting all registered endpoints."""
 
@@ -171,6 +178,17 @@ class Channel:
         self._grid: SpatialGrid[int] = SpatialGrid(cell_size=comm_range)
         self._static: Dict[int, ChannelEndpoint] = {}
         self._mobile: Dict[int, ChannelEndpoint] = {}
+        # Per-mobile position memo: node id -> (timestamp, x, y), the last
+        # evaluated position.  Entries are pure-function results (a path's
+        # position at t never changes), so they need no invalidation —
+        # they are refreshed when a newer timestamp is asked for, and a
+        # *stale* entry still serves the Lipschitz exclusion test in
+        # ``transmit``: a proxy farther from the sender than comm range
+        # plus (its max speed x entry age) provably cannot receive, so its
+        # mobility model is not re-evaluated at all.
+        self._mobile_pos: Dict[int, tuple] = {}
+        #: per-mobile Lipschitz motion bound (m/s; inf disables exclusion)
+        self._mobile_reach: Dict[int, float] = {}
         self._active: List[BroadcastReception] = []
         #: per static node: (listener endpoints, their ids), grid-query order
         self._neighbor_cache: Dict[int, Tuple[Tuple[ChannelEndpoint, ...], Tuple[int, ...]]] = {}
@@ -224,6 +242,11 @@ class Channel:
         if endpoint.node_id in self._static or endpoint.node_id in self._mobile:
             raise ValueError(f"endpoint {endpoint.node_id} already registered")
         self._mobile[endpoint.node_id] = endpoint
+        # A reused id must not inherit the previous endpoint's memo.
+        self._mobile_pos.pop(endpoint.node_id, None)
+        self._mobile_reach[endpoint.node_id] = float(
+            getattr(endpoint, "max_speed_mps", float("inf"))
+        )
 
     def unregister_mobile(self, node_id: int) -> None:
         """Remove a mobile endpoint (its user's session was cancelled).
@@ -242,6 +265,8 @@ class Channel:
         """
         if self._mobile.pop(node_id, None) is None:
             return
+        self._mobile_pos.pop(node_id, None)
+        self._mobile_reach.pop(node_id, None)
         for tx in self._active:
             if tx.sender_id == node_id:
                 self._retired_sender_seq -= 1
@@ -305,6 +330,31 @@ class Channel:
                 found.append(ep)
         return found
 
+    def _mobile_xy(self, endpoint: ChannelEndpoint) -> Tuple[float, float]:
+        """The endpoint's memoized position at the current instant.
+
+        Pure-function memo keyed on ``(endpoint, now)``: repeated queries
+        within one kernel timestamp (carrier sense, then the transmit
+        sweep) evaluate the mobility model once.  Only the *registered*
+        endpoint for an id touches the memo — a stale endpoint sensing
+        after its id was reused (cancel + resubmit) must not alias the
+        new proxy's entry.
+        """
+        now = self.sim.now
+        node_id = endpoint.node_id
+        if (
+            len(self._mobile) <= MOBILE_MEMO_THRESHOLD
+            or self._mobile.get(node_id) is not endpoint
+        ):
+            pos = endpoint.position_at(now)
+            return pos.x, pos.y
+        entry = self._mobile_pos.get(node_id)
+        if entry is not None and entry[0] == now:
+            return entry[1], entry[2]
+        pos = endpoint.position_at(now)
+        self._mobile_pos[node_id] = (now, pos.x, pos.y)
+        return pos.x, pos.y
+
     def medium_busy(self, endpoint: ChannelEndpoint) -> bool:
         """Carrier sense: is any in-flight transmission within range?
 
@@ -317,8 +367,7 @@ class Channel:
         if self._static.get(node_id) is endpoint:
             return self._busy_count[node_id] > 0
         # Mobile proxy: position changes between sense calls, scan in flight.
-        pos = endpoint.position_at(self.sim.now)
-        px, py = pos.x, pos.y
+        px, py = self._mobile_xy(endpoint)
         r_sq_eps = self.comm_range * self.comm_range + 1e-9
         for tx in self._active:
             if tx.sender_id == node_id:
@@ -337,8 +386,7 @@ class Channel:
             if self._busy_count[node_id] == 0:
                 return None
             return self._busy_latest[node_id]
-        pos = endpoint.position_at(self.sim.now)
-        px, py = pos.x, pos.y
+        px, py = self._mobile_xy(endpoint)
         r_sq_eps = self.comm_range * self.comm_range + 1e-9
         latest: Optional[float] = None
         for tx in self._active:
@@ -387,6 +435,13 @@ class Channel:
             static = self._static
             static_listeners = tuple(static[i] for i in ids if i != sender_id)
             covered = tuple(i for i in ids if i != sender_id)
+            if (
+                len(self._mobile) > MOBILE_MEMO_THRESHOLD
+                and self._mobile.get(sender_id) is sender
+            ):
+                # The sender's own position is fresh — share it with the
+                # per-timestamp memo the listener sweep below reads.
+                self._mobile_pos[sender_id] = (now, position.x, position.y)
         end_time = now + duration
         record = BroadcastReception(frame, sender_id, position, end_time, covered)
         record.on_airtime_end = on_airtime_end
@@ -438,21 +493,67 @@ class Channel:
                 energy._state_w = energy.model.rx_w
         px, py = position.x, position.y
         r_sq_eps = self.comm_range * self.comm_range + 1e-9
-        for listener in self._mobile.values():
-            if listener.node_id == sender_id:
-                continue
-            lpos = listener.position_at(now)
-            dx = lpos.x - px
-            dy = lpos.y - py
-            if dx * dx + dy * dy > r_sq_eps:
-                continue
-            radio = listener.radio
-            if not radio.listening:
-                continue
-            # Mobile listeners are few (one proxy per user), so the plain
-            # batch-begin method is fine here — no fourth inlined copy of
-            # the corruption/energy logic to keep in sync.
-            radio.begin_batch_reception(record, listener)
+        mobiles = self._mobile
+        if len(mobiles) <= MOBILE_MEMO_THRESHOLD:
+            # Small fleets: evaluating every proxy directly is cheaper
+            # than the memo bookkeeping below (measured crossover around
+            # 16 proxies on the pinned hot-path scenarios).
+            for listener in mobiles.values():
+                if listener.node_id == sender_id:
+                    continue
+                lpos = listener.position_at(now)
+                dx = lpos.x - px
+                dy = lpos.y - py
+                if dx * dx + dy * dy > r_sq_eps:
+                    continue
+                radio = listener.radio
+                if not radio.listening:
+                    continue
+                radio.begin_batch_reception(record, listener)
+        else:
+            mobile_pos = self._mobile_pos
+            mobile_reach = self._mobile_reach
+            for listener in mobiles.values():
+                nid = listener.node_id
+                if nid == sender_id:
+                    continue
+                # Positions are memoized per (proxy, timestamp); a stale
+                # memo plus the proxy's speed bound can prove it is still
+                # out of range, in which case the mobility model is not
+                # re-evaluated at all.  At 64 proxies this takes ~17% off
+                # the whole-run wall; below the threshold the bookkeeping
+                # outweighs the saved evaluations.
+                entry = mobile_pos.get(nid)
+                if entry is not None and entry[0] == now:
+                    lx = entry[1]
+                    ly = entry[2]
+                else:
+                    if entry is not None:
+                        dx = entry[1] - px
+                        dy = entry[2] - py
+                        # 1e-6 m of slack keeps the exclusion strictly
+                        # more conservative than the exact r_sq_eps test.
+                        reach = (
+                            self.comm_range
+                            + mobile_reach[nid] * (now - entry[0])
+                            + 1e-6
+                        )
+                        if dx * dx + dy * dy > reach * reach:
+                            continue
+                    lpos = listener.position_at(now)
+                    lx = lpos.x
+                    ly = lpos.y
+                    mobile_pos[nid] = (now, lx, ly)
+                dx = lx - px
+                dy = ly - py
+                if dx * dx + dy * dy > r_sq_eps:
+                    continue
+                radio = listener.radio
+                if not radio.listening:
+                    continue
+                # The plain batch-begin method — no fourth inlined copy of
+                # the corruption/energy logic to keep in sync.
+                radio.begin_batch_reception(record, listener)
         self._active.append(record)
         busy_count = self._busy_count
         busy_latest = self._busy_latest

@@ -188,6 +188,7 @@ class MobileEndpoint:
         mac_config: Optional[MacConfig] = None,
         power_model: Optional[PowerModel] = None,
         tracer: Optional[Tracer] = None,
+        max_speed_mps: float = float("inf"),
     ) -> None:
         self.node_id = node_id
         self.sim = sim
@@ -195,6 +196,11 @@ class MobileEndpoint:
         self.rng = rng
         self.tracer = tracer
         self._position_fn = position_fn
+        #: Lipschitz bound on the endpoint's motion (m/s); the channel's
+        #: per-timestamp position cache uses it to prove a proxy still out
+        #: of radio range without re-evaluating the mobility model.  The
+        #: conservative default (inf) disables the shortcut.
+        self.max_speed_mps = max_speed_mps
         # Bind the mobility model straight onto the instance: the channel
         # queries every mobile's position once per transmission.
         self.position_at = position_fn  # type: ignore[method-assign]

@@ -71,6 +71,7 @@ def build_proxy(
         position_fn=plan.path.position_at,
         mac_config=network.config.mac,
         tracer=tracer,
+        max_speed_mps=plan.path.max_speed(),
     )
     network.channel.register_mobile(proxy)
     return proxy

@@ -20,6 +20,7 @@ from repro.api.scenarios import (
     load_scenario_file,
     run_scenario,
 )
+from repro.api.service import MobiQueryService
 from repro.cli import main
 from repro.core.query import Aggregation
 
@@ -173,3 +174,100 @@ class TestCli:
         path.write_text(json.dumps(spec.to_dict()))
         assert main(["scenario", "--file", str(path)]) == 0
         assert "scenario=paper-default" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Strict spec validation: typo'd keys fail at load time, one clear line
+# ----------------------------------------------------------------------
+class TestStrictValidation:
+    def test_unknown_request_template_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown request-template key 'perod_s'"):
+            ScenarioSpec(name="x", requests=({"radius_m": 60.0, "perod_s": 2.0},))
+
+    def test_unknown_request_key_rejected_from_dict(self):
+        with pytest.raises(ValueError, match="request-template key"):
+            ScenarioSpec.from_dict(
+                {"name": "x", "requests": [{"raduis_m": 60.0}]}
+            )
+
+    def test_unknown_network_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown network key 'sleep_period'"):
+            ScenarioSpec(name="x", network={"sleep_period": 9.0})
+
+    def test_expansion_keys_still_accepted(self):
+        spec = ScenarioSpec(
+            name="x",
+            requests=(
+                {"count": 3, "spacing_s": 1.0, "aggregation": "max",
+                 "path": {"kind": "random"}, "radius_m": 60.0},
+            ),
+        )
+        assert len(build_requests(spec)) == 3
+
+    def test_cli_file_with_bad_request_key_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(
+            {"name": "bad", "requests": [{"radius_m": 60.0, "perod_s": 2.0}]}
+        ))
+        assert main(["scenario", "--file", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown request-template key 'perod_s'" in err
+        assert err.count("\n") == 1  # one line
+
+    def test_shards_and_workers_validate(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            ScenarioSpec(name="x", shards=0)
+        with pytest.raises(ValueError, match="shards must be an integer"):
+            ScenarioSpec(name="x", shards="two")
+        with pytest.raises(ValueError, match="workers must be >= 0"):
+            ScenarioSpec(name="x", workers=-1)
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            ScenarioSpec(name="x", partitioner="hexagons")
+
+    def test_shards_round_trip_and_overrides(self):
+        spec = ScenarioSpec(name="x", shards=4, workers=2,
+                            partitioner="grid-stripe")
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        scaled = spec.with_overrides(shards=1, workers=0)
+        assert scaled.shards == 1 and scaled.workers == 0
+        assert scaled.partitioner == "grid-stripe"
+
+
+# ----------------------------------------------------------------------
+# The sharded backend behind the scenario surface
+# ----------------------------------------------------------------------
+class TestShardedScenarios:
+    def test_build_backend_picks_the_right_plane(self):
+        from repro.api import build_backend
+        from repro.cluster import ClusterService
+
+        single = build_backend(get_scenario("paper-default"))
+        assert isinstance(single, MobiQueryService)
+        sharded = build_backend(
+            get_scenario("paper-default").with_overrides(shards=2)
+        )
+        assert isinstance(sharded, ClusterService)
+        assert sharded.num_shards == 2
+
+    def test_cluster_registry_scenario_runs_small(self):
+        spec = get_scenario("cluster_scale_64users")
+        assert spec.shards == 4 and spec.workers == 4
+        # Scaled far down for test speed: 8 users, 16 s, in-process.
+        small = ScenarioSpec.from_dict({
+            **spec.to_dict(),
+            "duration_s": 16.0,
+            "workers": 0,
+            "requests": [{**dict(spec.requests[0]), "count": 8}],
+        })
+        result = run_scenario(small)
+        assert result.shards == 4
+        assert result.admitted == 8
+        assert result.frames_sent > 0
+
+    def test_scenario_shards_override_matches_single_world(self):
+        spec = get_scenario("paper-default").with_overrides(duration_s=10.0)
+        single = run_scenario(spec)
+        cluster = run_scenario(spec, shards=1)
+        assert cluster.shards == 1
+        assert cluster.frames_sent == single.frames_sent
+        assert cluster.events_executed == single.events_executed

@@ -350,3 +350,96 @@ class TestRequestValidation:
         b = service.submit(QueryRequest())
         assert a.user_id == 0
         assert b.user_id == 1
+
+
+# ----------------------------------------------------------------------
+# Handle lifecycle edges: idempotence after completion and re-iteration
+# ----------------------------------------------------------------------
+class TestLifecycleEdges:
+    def _completed_handle(self, duration=12.0):
+        service = make_service(duration=duration)
+        handle = service.submit(QueryRequest(radius_m=60.0, period_s=2.0))
+        service.finalize()
+        return service, handle
+
+    def test_cancel_after_natural_completion_is_a_noop(self):
+        service, handle = self._completed_handle()
+        assert handle.status == STATUS_COMPLETED
+        result_before = handle.result()
+        handle.cancel()
+        assert handle.status == STATUS_COMPLETED
+        assert handle.cancelled_at is None
+        assert handle.result() is result_before
+
+    def test_double_cancel_is_a_noop(self):
+        service = make_service(duration=20.0)
+        handle = service.submit(QueryRequest(radius_m=60.0, period_s=2.0))
+        service.run_until(6.0)
+        handle.cancel()
+        assert handle.status == STATUS_CANCELLED
+        first_cancelled_at = handle.cancelled_at
+        events_after_first = service.sim.events_executed
+        service.run_until(8.0)
+        handle.cancel()  # second cancel: state unchanged, no new teardown
+        assert handle.status == STATUS_CANCELLED
+        assert handle.cancelled_at == first_cancelled_at
+        # and the service still scores the truncated session
+        result = handle.result()
+        assert result.metrics.num_periods <= 3
+        assert events_after_first <= service.sim.events_executed
+
+    def test_cancel_rejected_handle_is_a_noop(self):
+        class RejectAll(AcceptAllPolicy):
+            def decide(self, spec, path, service):
+                from repro.api import AdmissionDecision
+
+                return AdmissionDecision.reject("closed for testing")
+
+        service = make_service(admission=RejectAll())
+        handle = service.submit(QueryRequest())
+        assert handle.status == STATUS_REJECTED
+        handle.cancel()
+        assert handle.status == STATUS_REJECTED
+        assert service.sim.events_executed == 0
+
+    def test_results_reiteration_is_safe_and_consistent(self):
+        """A second results() pass replays the same outcomes (the world
+        already advanced; records are immutable at their deadlines)."""
+        service, handle = self._completed_handle()
+        first = list(handle.results())
+        second = list(handle.results())
+        assert [o.k for o in first] == [o.k for o in second]
+        assert [o.on_time for o in first] == [o.on_time for o in second]
+        assert [o.value for o in first] == [o.value for o in second]
+        assert [o.delivered_at for o in first] == [
+            o.delivered_at for o in second
+        ]
+
+    def test_results_after_cancel_stop_at_cancellation(self):
+        service = make_service(duration=20.0)
+        handle = service.submit(QueryRequest(radius_m=60.0, period_s=2.0))
+        stream = handle.results()
+        first = next(stream)
+        assert first.k == 1
+        handle.cancel()
+        remaining = list(stream)
+        assert all(o.deadline <= handle.cancelled_at for o in remaining)
+        # a fresh iteration honours the cancellation cutoff too
+        replay = list(handle.results())
+        assert [o.k for o in replay][: 1 + len(remaining)] == [
+            o.k for o in [first] + remaining
+        ]
+
+    def test_result_on_rejected_handle_raises(self):
+        class RejectAll(AcceptAllPolicy):
+            def decide(self, spec, path, service):
+                from repro.api import AdmissionDecision
+
+                return AdmissionDecision.reject("no")
+
+        service = make_service(admission=RejectAll())
+        handle = service.submit(QueryRequest())
+        with pytest.raises(AdmissionError, match="rejected"):
+            handle.result()
+        with pytest.raises(AdmissionError, match="rejected"):
+            list(handle.results())
