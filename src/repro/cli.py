@@ -178,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional events/sec regression vs --baseline (default 0.20)",
     )
     bench_p.add_argument(
+        "--both-paths",
+        action="store_true",
+        help="also time each scenario over the pure-Python reference "
+        "physics (REPRO_VECTORIZE=reference) and record reference_wall_s "
+        "next to the accelerated timing",
+    )
+    bench_p.add_argument(
         "--cluster",
         action="store_true",
         help="time cluster_scale_64users (shards=1 vs sharded+workers), "
@@ -186,7 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     prof_p = sub.add_parser(
-        "profile", help="profile a bench scenario with cProfile"
+        "profile",
+        help="profile a bench scenario with cProfile",
+        epilog="The reception physics has two bit-identical paths; profile "
+        "the pure-Python one with REPRO_VECTORIZE=reference in the "
+        "environment and compare (see 'Reading the vectorized-vs-reference "
+        "timings' in examples/README.md).",
     )
     prof_p.add_argument(
         "scenario",
@@ -467,18 +479,28 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     from .experiments.perf import (
         cluster_fingerprint_mismatches,
         format_cluster_report,
-        load_report,
+        load_previous_report,
         run_cluster_suite,
         write_report,
     )
 
-    cluster_report = run_cluster_suite(scale=args.scale, repeats=args.repeats)
+    cluster_report = run_cluster_suite(
+        scale=args.scale, repeats=args.repeats, both_paths=args.both_paths
+    )
     # Merge into the existing report so the cluster numbers travel in the
-    # same BENCH_perf.json artifact as the hot-path scenarios.
-    try:
-        report = load_report(args.output)
-    except (OSError, ValueError):
+    # same BENCH_perf.json artifact as the hot-path scenarios.  A missing
+    # or corrupt prior file fails soft: the rewrite proceeds, but losing
+    # the previously pinned scenario sections is said out loud, never
+    # silent (and never a crash).
+    report, warning = load_previous_report(args.output)
+    if report is None:
         report = {"scale": args.scale, "scenarios": {}}
+        if warning is not None:
+            print(
+                f"repro bench: warning: {warning}; rewriting without the "
+                "prior hot-path scenario sections",
+                file=sys.stderr,
+            )
     report["cluster"] = cluster_report
     write_report(report, args.output)
     print(format_cluster_report(cluster_report))
@@ -516,6 +538,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         check_regressions,
         fingerprint_mismatches,
         format_perf_report,
+        load_previous_report,
         load_report,
         run_perf_suite,
         write_report,
@@ -535,14 +558,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"repro bench: error: cannot read baseline: {exc}", file=sys.stderr)
             return 2
-    report = run_perf_suite(scale=args.scale, repeats=args.repeats)
+    report = run_perf_suite(
+        scale=args.scale, repeats=args.repeats, both_paths=args.both_paths
+    )
     # Keep a previously merged cluster section (repro bench --cluster)
-    # alive across hot-path re-measurements of the same artifact.
-    try:
-        previous = load_report(args.output)
-    except (OSError, ValueError):
-        previous = None
-    if previous and "cluster" in previous:
+    # alive across hot-path re-measurements of the same artifact.  A
+    # corrupt prior file must not crash the merge (json.load can return a
+    # non-dict) and must not silently cost the cluster section: fail soft
+    # with a warning and rewrite fresh.
+    previous, warning = load_previous_report(args.output)
+    if warning is not None:
+        print(
+            f"repro bench: warning: {warning}; rewriting without the "
+            "prior cluster section",
+            file=sys.stderr,
+        )
+    if previous is not None and "cluster" in previous:
         report["cluster"] = previous["cluster"]
     write_report(report, args.output)
     print(format_perf_report(report))

@@ -229,8 +229,21 @@ class ClusterService:
             best = max(overlaps)
             if best > 0.0:
                 return overlaps.index(best)
-        loads = [service.admitted_count() for service in self.services]
-        return loads.index(min(loads))
+        # Least-loaded spread with an EXPLICIT lowest-index tie-break: the
+        # routing decision is part of the replayable decision log (the
+        # workers=N finalize replays each shard's recorded submissions), so
+        # ties must resolve identically on every code path that ever
+        # recomputes a route — strictly-less keeps the first (lowest)
+        # shard index on equal loads by construction, rather than leaning
+        # on the incidental first-occurrence behaviour of ``list.index``.
+        best_shard = 0
+        best_load = self.services[0].admitted_count()
+        for index in range(1, len(self.services)):
+            load = self.services[index].admitted_count()
+            if load < best_load:
+                best_shard = index
+                best_load = load
+        return best_shard
 
     # ------------------------------------------------------------------
     # The backend lifecycle: submit / advance / cancel / stats / close

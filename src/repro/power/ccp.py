@@ -39,6 +39,7 @@ from ..geometry.shapes import Circle, Rect
 from ..geometry.vec import Vec2
 from ..net.network import Network
 from ..net.node import SensorNode
+from ..net.vectorized import numpy_or_none
 from .base import PowerManagementProtocol, repair_connectivity
 
 
@@ -110,11 +111,28 @@ class CcpProtocol(PowerManagementProtocol):
             # No intersection structure: coverage requires containment by a
             # set of disks, which for circles means one disk contains mine.
             return self._contained_by_k(my_disk, neighbor_disks, k)
+        # Strict-interior containment: a point on a circle's own boundary
+        # is NOT covered by that circle for the purposes of the
+        # intersection-point theorem — the area just beyond the boundary
+        # would be uncovered.  (Equivalently: open-disk semantics.)
+        np_mod = numpy_or_none()
+        if np_mod is not None and len(check_points) * len(neighbor_disks) >= 64:
+            # Points x disks as one elementwise broadcast — the same
+            # subtract/square/compare per pair as the scalar loop below, so
+            # the counts (and the eligibility decision) are bit-identical.
+            cxs = np_mod.array([d.center.x for d in neighbor_disks])
+            cys = np_mod.array([d.center.y for d in neighbor_disks])
+            thr = (
+                np_mod.array([d.radius for d in neighbor_disks])
+                - self._INTERIOR_EPS
+            ) ** 2
+            pxs = np_mod.array([p.x for p in check_points])
+            pys = np_mod.array([p.y for p in check_points])
+            dx = pxs[:, None] - cxs[None, :]
+            dy = pys[:, None] - cys[None, :]
+            covered = (dx * dx + dy * dy < thr[None, :]).sum(axis=1)
+            return bool((covered >= k).all())
         for point in check_points:
-            # Strict-interior containment: a point on a circle's own boundary
-            # is NOT covered by that circle for the purposes of the
-            # intersection-point theorem — the area just beyond the boundary
-            # would be uncovered.  (Equivalently: open-disk semantics.)
             covered = sum(
                 1
                 for disk in neighbor_disks

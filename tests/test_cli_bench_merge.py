@@ -1,0 +1,148 @@
+"""Regression tests for the BENCH_perf.json merge in ``repro bench``.
+
+The bench merges two half-reports into one artifact: the hot-path command
+preserves a previously written ``cluster`` section, and ``--cluster``
+preserves the previously written scenario sections.  A missing or corrupt
+prior file must never crash the merge and must never silently drop a
+previously pinned section — the rewrite proceeds with a stderr warning.
+
+The suites themselves are stubbed out (they are multi-second simulation
+runs); what is under test is the merge and fail-soft logic around them.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import perf
+
+
+def _stub_perf_report(**overrides):
+    # scale != quick keeps the fingerprint gate out of the way.
+    report = {
+        "schema": 1,
+        "scale": "paper",
+        "repeats": 1,
+        "accelerator": "stub",
+        "scenarios": {"fig4_jit": {"wall_s": 1.0, "events_per_sec": 10.0,
+                                   "events_executed": 10}},
+    }
+    report.update(overrides)
+    return report
+
+
+def _stub_cluster_report():
+    entry = {
+        "shards": 1,
+        "workers": 0,
+        "parallel_used": False,
+        "wall_s": 1.0,
+        "events_executed": 10,
+        "frames_sent": 5,
+        "mean_success": 1.0,
+    }
+    return {
+        "scenario": "cluster_scale_64users",
+        "scale": "paper",
+        "repeats": 1,
+        "users": 64,
+        "shards1": entry,
+        "shards4": dict(entry, shards=4),
+        "speedup_sharded_vs_single": 1.0,
+    }
+
+
+@pytest.fixture
+def stub_suites(monkeypatch):
+    monkeypatch.setattr(
+        perf, "run_perf_suite", lambda **kwargs: _stub_perf_report()
+    )
+    monkeypatch.setattr(
+        perf, "run_cluster_suite", lambda **kwargs: _stub_cluster_report()
+    )
+
+
+class TestBenchMerge:
+    def test_missing_prior_file_is_fine_and_silent(
+        self, tmp_path, stub_suites, capsys
+    ):
+        out = tmp_path / "BENCH_perf.json"
+        assert main(["bench", "--output", str(out)]) == 0
+        assert "warning" not in capsys.readouterr().err
+        assert "cluster" not in json.loads(out.read_text())
+
+    def test_prior_cluster_section_survives_a_hot_path_rerun(
+        self, tmp_path, stub_suites, capsys
+    ):
+        out = tmp_path / "BENCH_perf.json"
+        out.write_text(json.dumps({"scale": "quick", "cluster": {"marker": 7}}))
+        assert main(["bench", "--output", str(out)]) == 0
+        assert "warning" not in capsys.readouterr().err
+        assert json.loads(out.read_text())["cluster"] == {"marker": 7}
+
+    def test_string_json_prior_warns_instead_of_crashing(
+        self, tmp_path, stub_suites, capsys
+    ):
+        """The regression: a valid-JSON *string* containing ``"cluster"``
+        used to pass the ``"cluster" in previous`` check as a substring
+        match and crash the merge with a TypeError."""
+        out = tmp_path / "BENCH_perf.json"
+        out.write_text(json.dumps("stale cluster artifact"))
+        assert main(["bench", "--output", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "warning" in err
+        assert "not a JSON object" in err
+        written = json.loads(out.read_text())
+        assert "cluster" not in written
+        assert written["scenarios"]  # the fresh report still landed
+
+    def test_corrupt_prior_warns_and_rewrites(
+        self, tmp_path, stub_suites, capsys
+    ):
+        out = tmp_path / "BENCH_perf.json"
+        out.write_text("{not json at all")
+        assert main(["bench", "--output", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "warning" in err
+        assert "unreadable" in err
+        assert json.loads(out.read_text())["scenarios"]
+
+
+class TestBenchClusterMerge:
+    def test_missing_prior_file_still_writes_cluster_section(
+        self, tmp_path, stub_suites, capsys
+    ):
+        out = tmp_path / "BENCH_perf.json"
+        assert main(["bench", "--cluster", "--output", str(out)]) == 0
+        assert "warning" not in capsys.readouterr().err
+        written = json.loads(out.read_text())
+        assert written["cluster"]["scenario"] == "cluster_scale_64users"
+
+    def test_prior_scenarios_survive_a_cluster_rerun(
+        self, tmp_path, stub_suites, capsys
+    ):
+        out = tmp_path / "BENCH_perf.json"
+        out.write_text(
+            json.dumps({"scale": "quick", "scenarios": {"fig4_jit": {"wall_s": 2.0}}})
+        )
+        assert main(["bench", "--cluster", "--output", str(out)]) == 0
+        assert "warning" not in capsys.readouterr().err
+        written = json.loads(out.read_text())
+        assert written["scenarios"] == {"fig4_jit": {"wall_s": 2.0}}
+        assert "cluster" in written
+
+    def test_corrupt_prior_warns_but_still_writes_cluster(
+        self, tmp_path, stub_suites, capsys
+    ):
+        """The mirror-image regression: the cluster merge used to crash on
+        an unreadable prior report instead of rewriting with a warning."""
+        out = tmp_path / "BENCH_perf.json"
+        out.write_text("[1, 2,")
+        assert main(["bench", "--cluster", "--output", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "warning" in err
+        assert "unreadable" in err
+        written = json.loads(out.read_text())
+        assert "cluster" in written
+        assert written["scenarios"] == {}

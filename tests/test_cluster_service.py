@@ -191,6 +191,34 @@ class TestRouting:
         submit_fleet(cluster, 8)
         assert [s.admitted_count() for s in cluster.services] == [2, 2, 2, 2]
 
+    def test_pathless_tie_breaks_to_lowest_shard(self):
+        """Every submit starts from an all-shards tie at some load level;
+        the contract is explicit: ties go to the lowest shard index, so a
+        pathless fleet walks the shards in index order, round after round."""
+        cluster = self._cluster()
+        for expected in (0, 1, 2, 3, 0, 1, 2, 3):
+            request = QueryRequest(
+                radius_m=50.0, period_s=2.0, freshness_s=1.0
+            )
+            assert cluster.route(request) == expected
+            cluster.submit(request)
+
+    def test_tie_routing_identical_serial_vs_workers(self, monkeypatch):
+        """The tie-break must be the same decision the worker replay sees:
+        a pathless fleet routed at submit time produces bit-identical
+        results whether the shards finalize in-process or in a pool."""
+        import os
+
+        serial = ClusterService(small_config(), shards=4, workers=0)
+        submit_fleet(serial, 8)
+        expected = result_signature(serial, serial.finalize())
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        parallel = ClusterService(small_config(), shards=4, workers=4)
+        submit_fleet(parallel, 8)
+        assert [s.admitted_count() for s in parallel.services] == [2, 2, 2, 2]
+        got = result_signature(parallel, parallel.finalize())
+        assert got == expected
+
     def test_path_routes_by_footprint_overlap(self):
         cluster = self._cluster()
         # A patrol entirely inside one kd cell must land on that shard.
