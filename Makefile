@@ -9,6 +9,7 @@
 #   make perf-gate       re-measure and fail on >20% events/sec regression
 #   make profile         cProfile one bench scenario (SCENARIO=..., ARGS=...)
 #   make examples-smoke  run every examples/ script at quick scale
+#   make sweep-smoke     quick adversarial robustness sweep (invariant gate)
 #   make check           what CI runs on every push
 
 PY ?= python
@@ -19,7 +20,7 @@ EXAMPLE_SMOKE_DURATION ?= 30
 #: default scenario for `make profile`
 SCENARIO ?= scale_16users
 
-.PHONY: test bench bench-smoke bench-perf bench-cluster perf-gate profile examples-smoke check
+.PHONY: test bench bench-smoke bench-perf bench-cluster perf-gate profile examples-smoke sweep-smoke check
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q tests/
@@ -57,6 +58,16 @@ perf-gate:
 	cp BENCH_perf.json /tmp/bench_baseline.json
 	PYTHONPATH=src $(PY) -m repro bench --scale quick \
 		--output /tmp/bench_fresh.json --baseline /tmp/bench_baseline.json
+
+# A quick adversarial sweep over the blackout drill: a 2x2x2 grid
+# (users x shards x fault intensity) with every metamorphic invariant
+# enforced — fault-monotonicity, shards1-identity (faults included),
+# churn-no-leak.  Exits 3 naming the invariant on any violation; the
+# report lands in SWEEP_robustness-smoke.json.
+sweep-smoke:
+	PYTHONPATH=src $(PY) -m repro sweep blackout-recovery-16users \
+		--duration 36 --users 2,4 --shards 1,2 --intensities 0,1 \
+		--arrivals staggered --name robustness-smoke
 
 # One-command cProfile of a canonical scenario (the ROADMAP recipe):
 #   make profile SCENARIO=fig4_jit ARGS="--sort cumtime --top 40"

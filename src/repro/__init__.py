@@ -42,6 +42,10 @@ Subpackages:
 * ``repro.cluster`` — the sharded query plane: regional shard worlds, a
   geometry router and worker-process execution behind the same
   ``QueryBackend`` surface as the single service.
+* ``repro.faults`` — the deterministic fault-injection plane: declarative
+  ``FaultPlan`` schedules (crashes, blackouts, radio degradation, worker
+  kills) executed off a dedicated RNG stream, plus the adversarial
+  robustness sweep (``repro.faults.sweep``).
 * ``repro.experiments`` — per-figure experiment harness.
 """
 
@@ -59,6 +63,7 @@ from .api import (
     QueryRequest,
     ScenarioResult,
     ScenarioSpec,
+    ServiceClosedError,
     SessionHandle,
     build_backend,
     get_scenario,
@@ -69,6 +74,7 @@ from .api import (
     validate_query_params,
 )
 from .cluster import ClusterService
+from .faults import FaultInjector, FaultPlan, load_fault_file
 from .core import (
     AggregateState,
     Aggregation,
@@ -142,6 +148,7 @@ __all__ = [
     "QueryRequest",
     "PeriodOutcome",
     "AdmissionError",
+    "ServiceClosedError",
     "AdmissionPolicy",
     "AdmissionDecision",
     "AcceptAllPolicy",
@@ -156,6 +163,10 @@ __all__ = [
     "load_scenario_file",
     "run_scenario",
     "build_backend",
+    # faults (the deterministic fault-injection plane)
+    "FaultPlan",
+    "FaultInjector",
+    "load_fault_file",
     # experiments
     "ExperimentConfig",
     "RunResult",

@@ -48,6 +48,7 @@ from .scenarios import (
 from .service import (
     AdmissionError,
     MobiQueryService,
+    ServiceClosedError,
     SessionHandle,
     STATUS_ADMITTED,
     STATUS_CANCELLED,
@@ -65,6 +66,7 @@ __all__ = [
     "QueryRequest",
     "PeriodOutcome",
     "AdmissionError",
+    "ServiceClosedError",
     "validate_query_params",
     "STATUS_REJECTED",
     "STATUS_ADMITTED",

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.query import Aggregation
 from ..experiments.config import ExperimentConfig
+from ..faults.plan import FaultPlan
 from ..geometry.vec import Vec2
 from ..mobility.models import patrol_path
 from ..net.network import NetworkConfig
@@ -84,6 +85,10 @@ class ScenarioSpec:
     admission: Dict = field(default_factory=dict)
     #: request templates (see module docstring)
     requests: Tuple[Dict, ...] = ()
+    #: declarative fault plan (see :class:`~repro.faults.plan.FaultPlan`);
+    #: an empty dict — the default — injects nothing and is bit-identical
+    #: to a pre-fault-plane run
+    faults: Dict = field(default_factory=dict)
     #: regional shards (1 = one world, the classic MobiQueryService)
     shards: int = 1
     #: worker processes for the cluster batch path (0 = in-process)
@@ -117,6 +122,9 @@ class ScenarioSpec:
         for template in self.requests:
             _reject_unknown_keys(template, _REQUEST_KEYS, "request-template")
         _reject_unknown_keys(self.network, _NETWORK_KEYS, "network")
+        # Same strictness for the fault plan: FaultPlan.from_dict names the
+        # first unknown key at every nesting level.
+        FaultPlan.from_dict(self.faults)
 
     @staticmethod
     def from_dict(data: Dict) -> "ScenarioSpec":
@@ -130,6 +138,7 @@ class ScenarioSpec:
             "network",
             "admission",
             "requests",
+            "faults",
             "shards",
             "workers",
             "partitioner",
@@ -143,6 +152,7 @@ class ScenarioSpec:
         payload["requests"] = tuple(dict(r) for r in payload.get("requests", ()))
         payload["network"] = dict(payload.get("network", {}))
         payload["admission"] = dict(payload.get("admission", {}))
+        payload["faults"] = dict(payload.get("faults", {}))
         return ScenarioSpec(**payload)
 
     def to_dict(self) -> Dict:
@@ -156,6 +166,7 @@ class ScenarioSpec:
             "network": dict(self.network),
             "admission": dict(self.admission),
             "requests": [dict(r) for r in self.requests],
+            "faults": dict(self.faults),
             "shards": self.shards,
             "workers": self.workers,
             "partitioner": self.partitioner,
@@ -168,6 +179,7 @@ class ScenarioSpec:
         shards: Optional[int] = None,
         workers: Optional[int] = None,
         partitioner: Optional[str] = None,
+        faults: Optional[Dict] = None,
     ) -> "ScenarioSpec":
         """The same scenario at a different scale, seed or shard layout."""
         payload = self.to_dict()
@@ -181,7 +193,13 @@ class ScenarioSpec:
             payload["workers"] = workers
         if partitioner is not None:
             payload["partitioner"] = partitioner
+        if faults is not None:
+            payload["faults"] = faults
         return ScenarioSpec.from_dict(payload)
+
+    def fault_plan(self) -> FaultPlan:
+        """The validated :class:`FaultPlan` this scenario injects."""
+        return FaultPlan.from_dict(self.faults)
 
 
 def load_scenario_file(path: str) -> ScenarioSpec:
@@ -291,7 +309,9 @@ def _scenario_config(spec: ScenarioSpec) -> ExperimentConfig:
 def build_service(spec: ScenarioSpec) -> MobiQueryService:
     """The single-world service for a scenario (ignores ``shards``)."""
     return MobiQueryService(
-        _scenario_config(spec), admission=make_admission_policy(spec.admission)
+        _scenario_config(spec),
+        admission=make_admission_policy(spec.admission),
+        faults=spec.fault_plan(),
     )
 
 
@@ -315,6 +335,7 @@ def build_backend(spec: ScenarioSpec) -> QueryBackend:
         admission=make_admission_policy(spec.admission),
         partitioner=spec.partitioner,
         workers=spec.workers,
+        faults=spec.fault_plan(),
     )
 
 
@@ -455,6 +476,43 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             seed=5,
             duration_s=120.0,
             requests=_HETERO_REQUESTS,
+        ),
+        ScenarioSpec(
+            name="blackout-recovery-16users",
+            description=(
+                "16 users ride out a 20 s region blackout at the field "
+                "centre plus a transient radio-degradation window: the "
+                "self-healing protocol re-elects crashed collectors, marks "
+                "the unrecoverable periods degraded, and post-recovery "
+                "success returns to the no-fault level (the benchmarks "
+                "gate it within 5 pp)."
+            ),
+            mode="jit",
+            seed=7,
+            duration_s=90.0,
+            faults={
+                "blackouts": [
+                    {
+                        "x": 225.0,
+                        "y": 225.0,
+                        "radius_m": 100.0,
+                        "at_s": 30.0,
+                        "duration_s": 20.0,
+                    }
+                ],
+                "degradations": [
+                    {"at_s": 35.0, "duration_s": 5.0, "corruption_prob": 0.3}
+                ],
+            },
+            requests=(
+                {
+                    "radius_m": 60.0,
+                    "period_s": 2.5,
+                    "freshness_s": 1.25,
+                    "count": 16,
+                    "spacing_s": 1.5,
+                },
+            ),
         ),
         ScenarioSpec(
             name="cluster_scale_64users",

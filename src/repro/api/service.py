@@ -42,6 +42,8 @@ from ..core.metrics import (
 )
 from ..core.query import QuerySpec
 from ..core.service import MobiQueryConfig, MobiQueryProtocol
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..experiments.config import (
     MODE_GREEDY,
     MODE_IDLE,
@@ -84,6 +86,15 @@ STATUS_COMPLETED = "completed"
 
 class AdmissionError(ValueError):
     """Raised by :meth:`SessionHandle.require_admitted` on a rejected handle."""
+
+
+class ServiceClosedError(ValueError):
+    """The backend's lifecycle is over: ``submit()`` on a sealed/closed
+    service, or streaming/scoring a handle after ``close()``.
+
+    Subclasses :class:`ValueError` so callers that guarded against the old
+    untyped raise keep working.
+    """
 
 
 def resolve_user_id(handles: List["SessionHandle"], user_id: Optional[int]) -> int:
@@ -277,6 +288,11 @@ class SessionHandle:
         kernel forward, so other concurrent sessions advance too.  A
         cancelled session's stream ends at the cancellation time.
         """
+        if self.service.closed:
+            raise ServiceClosedError(
+                "results() on a handle of a closed service (use the "
+                "WorkloadResult close() returned)"
+            )
         self.require_admitted()
         assert self.spec is not None and self.session is not None
         spec = self.spec
@@ -312,6 +328,11 @@ class SessionHandle:
 
     def result(self) -> SessionResult:
         """The scored session (runs the service to completion if needed)."""
+        if self.service.closed:
+            raise ServiceClosedError(
+                "result() on a handle of a closed service (use the "
+                "WorkloadResult close() returned)"
+            )
         self.require_admitted()
         if self._result is None:
             if self.status != STATUS_CANCELLED:
@@ -346,6 +367,10 @@ class MobiQueryService:
             :class:`QueryRequest`.
         admission: the admission policy (default accept-all).
         tracer: optional shared tracer (a fresh one by default).
+        faults: optional :class:`FaultPlan` to inject against this world.
+            ``None`` (or an empty plan) is bit-identical to a service built
+            before the fault plane existed: the dedicated ``"faults"`` RNG
+            stream draws nothing and no event is scheduled.
     """
 
     def __init__(
@@ -353,6 +378,7 @@ class MobiQueryService:
         config: ExperimentConfig,
         admission: Optional[AdmissionPolicy] = None,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config
         self.admission = admission or AcceptAllPolicy()
@@ -397,9 +423,17 @@ class MobiQueryService:
                 comm_range_m=config.network.comm_range_m,
                 psm_offset_s=self.psm_offset_s,
             )
+        self.faults = faults if faults is not None else FaultPlan()
+        self.fault_injector: Optional[FaultInjector] = None
+        if not self.faults.world_empty:
+            self.fault_injector = FaultInjector(
+                self.faults, self.network, self.streams, tracer=self.tracer
+            )
+            self.fault_injector.start()
         self.handles: List[SessionHandle] = []
         self._admitted_total = 0
         self._completed = False
+        self._closed = False
         self._closed_result: Optional[WorkloadResult] = None
 
     # ------------------------------------------------------------------
@@ -409,6 +443,11 @@ class MobiQueryService:
     def duration_s(self) -> float:
         """The service horizon (end of the simulated day)."""
         return self.config.duration_s
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has sealed the service."""
+        return self._closed
 
     def admitted_count(self) -> int:
         """How many sessions were ever admitted (phase-slot counter)."""
@@ -447,8 +486,14 @@ class MobiQueryService:
         """
         if self.config.mode == MODE_IDLE:
             raise ValueError("an idle-mode service accepts no queries")
+        if self._closed:
+            raise ServiceClosedError(
+                "submit() on a closed service (close() already sealed the run)"
+            )
         if self._completed:
-            raise ValueError("the service horizon has passed (run finished)")
+            raise ServiceClosedError(
+                "the service horizon has passed (run finished)"
+            )
         user_id = resolve_user_id(self.handles, request.user_id)
         start_s = max(request.start_s, self.sim.now)
         path = request.path
@@ -548,6 +593,11 @@ class MobiQueryService:
             session = self.workload.add_mobiquery_user(plan, self.protocol, rng)
         if self.storage is not None:
             self.storage.register_spec(spec)
+        if self.fault_injector is not None:
+            # Lets the gateway watchdog mark unrecoverable periods as
+            # degraded; stays False in fault-free runs so ordinary watchdog
+            # re-injections never count as degradation.
+            session.gateway.faults_active = True
         return session
 
     def cancel(self, handle: SessionHandle) -> None:
@@ -646,6 +696,7 @@ class MobiQueryService:
         """
         if self._closed_result is None:
             self._closed_result = self.finalize()
+        self._closed = True
         return self._closed_result
 
     # ------------------------------------------------------------------
@@ -671,6 +722,7 @@ __all__ = [
     "AdmissionError",
     "BackendStats",
     "MobiQueryService",
+    "ServiceClosedError",
     "SessionHandle",
     "RUN_TAIL_S",
     "STATUS_ADMITTED",

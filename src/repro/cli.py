@@ -6,6 +6,9 @@ Commands:
   per-period summary and an ASCII fidelity strip.
 * ``scenario`` — run a named declarative scenario from the registry (or a
   JSON file) through the service façade; ``--list`` shows the catalogue.
+* ``sweep`` — fan a scenario across users x shards x fault-intensity x
+  arrival axes, write ``SWEEP_<name>.json`` + a markdown table, and fail
+  loudly when a metamorphic invariant breaks.
 * ``fig`` — regenerate one of the paper's figures (4-8) as a table.
 * ``bench`` — time the hot-path scenarios, write ``BENCH_perf.json``, and
   optionally gate against a same-machine baseline report.
@@ -111,6 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="worker processes for the sharded batch path (default 0)",
     )
+    run_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="FILE",
+        help="inject a fault plan from a JSON file (crashes, blackouts, "
+        "radio degradations, worker kills); omitted = fault-free",
+    )
 
     scen_p = sub.add_parser(
         "scenario", help="run a named declarative scenario via the service API"
@@ -144,6 +154,66 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override the cluster worker-process count",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="adversarial robustness sweep over users x shards x faults x arrivals",
+    )
+    sweep_p.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="base scenario registry name (see `repro scenario --list`)",
+    )
+    sweep_p.add_argument(
+        "--file", default=None, help="load the base ScenarioSpec from a JSON file"
+    )
+    sweep_p.add_argument(
+        "--axes",
+        default=None,
+        metavar="FILE",
+        help="JSON file with the sweep axes "
+        '({"users": [...], "shards": [...], "intensities": [...], '
+        '"arrivals": [...]}); CLI axis flags override its entries',
+    )
+    sweep_p.add_argument(
+        "--users", default=None, help="comma-separated fleet sizes, e.g. 4,8"
+    )
+    sweep_p.add_argument(
+        "--shards", default=None, help="comma-separated shard counts, e.g. 1,2"
+    )
+    sweep_p.add_argument(
+        "--intensities",
+        default=None,
+        help="comma-separated fault intensities in [0,1], e.g. 0,0.5,1",
+    )
+    sweep_p.add_argument(
+        "--arrivals",
+        default=None,
+        help="comma-separated arrival processes (staggered, burst)",
+    )
+    sweep_p.add_argument(
+        "--duration", type=float, default=None, help="override the duration (s)"
+    )
+    sweep_p.add_argument(
+        "--seed", type=int, default=None, help="override the seed"
+    )
+    sweep_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the grid (cells run serially by default)",
+    )
+    sweep_p.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for SWEEP_<name>.json (default current directory)",
+    )
+    sweep_p.add_argument(
+        "--name",
+        default=None,
+        help="report name (default: the base scenario's name)",
     )
 
     fig_p = sub.add_parser("fig", help="regenerate a paper figure")
@@ -236,7 +306,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run_cluster(args: argparse.Namespace, config: ExperimentConfig) -> int:
+def _cmd_run_cluster(
+    args: argparse.Namespace, config: ExperimentConfig, faults=None
+) -> int:
     """``repro run --shards N``: the same fleet on a regional cluster."""
     from .api.requests import QueryRequest
     from .cluster.service import ClusterService
@@ -244,7 +316,7 @@ def _cmd_run_cluster(args: argparse.Namespace, config: ExperimentConfig) -> int:
     from .workload.arrivals import arrival_times
 
     cluster = ClusterService(
-        config, shards=args.shards, workers=max(args.workers, 0)
+        config, shards=args.shards, workers=max(args.workers, 0), faults=faults
     )
     starts = arrival_times(
         config.num_users,
@@ -279,6 +351,10 @@ def _cmd_run_cluster(args: argparse.Namespace, config: ExperimentConfig) -> int:
               f"{m.success_ratio():6.1%}  {m.mean_fidelity():7.1%}")
     print(f"\nfleet mean success: {workload.mean_success_ratio():.1%}")
     print(f"fleet worst user  : {workload.min_success_ratio():.1%}")
+    if faults is not None and not faults.empty:
+        degraded = sum(s.degraded_periods for s in workload.sessions)
+        print(f"degraded periods  : {degraded} "
+              f"(collector re-election / recovery windows)")
     print(f"frames on air: {stats.frames_sent}, collided receptions: "
           f"{stats.frames_collided}, events: {stats.events_executed}")
     return 0
@@ -302,16 +378,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             arrival_process=args.arrival,
             arrival_spacing_s=args.spacing,
         )
+        faults = None
+        if args.faults:
+            from .faults.plan import load_fault_file
+
+            faults = load_fault_file(args.faults)
         if args.shards > 1:
-            return _cmd_run_cluster(args, config)
+            return _cmd_run_cluster(args, config, faults)
         if args.workers > 0:
             print(
                 "repro run: note: --workers only applies with --shards >= 2; "
                 "running one world in-process",
                 file=sys.stderr,
             )
-        result = run_experiment(config)
-    except ValueError as exc:
+        result = run_experiment(config, faults=faults)
+    except (OSError, ValueError) as exc:
         print(f"repro run: error: {exc}", file=sys.stderr)
         return 2
     print(f"mode={args.mode} seed={args.seed} duration={args.duration:.0f}s "
@@ -331,6 +412,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"{m.mean_fidelity():7.1%}")
         print(f"\nfleet mean success: {result.mean_user_success_ratio:.1%}")
         print(f"fleet worst user  : {result.min_user_success_ratio:.1%}")
+        if faults is not None and not faults.empty:
+            degraded = sum(s.degraded_periods for s in result.sessions)
+            print(f"degraded periods  : {degraded} "
+                  f"(collector re-election / recovery windows)")
         # network-wide numbers, not per-user
         print(f"prefetch len  : {result.max_prefetch_length} (worst chain)")
         print(f"sleeper power : {result.power.mean_sleeper_power_w * 1000:.0f} mW")
@@ -342,6 +427,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if len(result.sessions) == 1:
         print(f"prefetch len  : {result.max_prefetch_length}")
         print(f"sleeper power : {result.power.mean_sleeper_power_w * 1000:.0f} mW")
+        if faults is not None and not faults.empty:
+            print(f"degraded periods: {result.sessions[0].degraded_periods} "
+                  f"(collector re-election / recovery windows)")
     from .experiments.viz import render_fidelity_strip
 
     print("\nfidelity per period:")
@@ -427,6 +515,88 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         print(f"fleet worst user  : {result.min_success:.1%}")
     print(f"frames on air: {result.frames_sent}, collided receptions: "
           f"{result.frames_collided}, events: {result.events_executed}")
+    return 0
+
+
+def _parse_axis_list(text: str, cast, flag: str) -> tuple:
+    """Parse a ``--users 4,8``-style comma list into a tuple of ``cast``."""
+    try:
+        values = tuple(cast(tok.strip()) for tok in text.split(",") if tok.strip())
+    except ValueError:
+        raise ValueError(
+            f"{flag} expects a comma-separated list of "
+            f"{cast.__name__}s, got {text!r}"
+        )
+    if not values:
+        raise ValueError(f"{flag} expects at least one value, got {text!r}")
+    return values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .api.scenarios import get_scenario, load_scenario_file
+    from .faults.sweep import SweepAxes, run_sweep, write_sweep_outputs
+
+    try:
+        if args.file:
+            base = load_scenario_file(args.file)
+        elif args.scenario:
+            base = get_scenario(args.scenario)
+        else:
+            raise ValueError(
+                "give a base scenario name or --file "
+                "(see `repro scenario --list`)"
+            )
+        overrides = {}
+        if args.duration is not None:
+            overrides["duration_s"] = args.duration
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if overrides:
+            base = base.with_overrides(**overrides)
+        axes_data: dict = {}
+        if args.axes:
+            with open(args.axes, "r", encoding="utf-8") as fh:
+                axes_data = json.load(fh)
+            if not isinstance(axes_data, dict):
+                raise ValueError(
+                    f"{args.axes} must hold a JSON object of sweep axes"
+                )
+        if args.users:
+            axes_data["users"] = _parse_axis_list(args.users, int, "--users")
+        if args.shards:
+            axes_data["shards"] = _parse_axis_list(args.shards, int, "--shards")
+        if args.intensities:
+            axes_data["intensities"] = _parse_axis_list(
+                args.intensities, float, "--intensities"
+            )
+        if args.arrivals:
+            axes_data["arrivals"] = tuple(
+                tok.strip() for tok in args.arrivals.split(",") if tok.strip()
+            )
+        axes = SweepAxes.from_dict(axes_data) if axes_data else SweepAxes()
+        print(
+            f"sweep base={base.name} cells={axes.cell_count()} "
+            f"workers={max(args.workers, 0)}",
+            file=sys.stderr,
+        )
+        result = run_sweep(
+            base, axes, workers=max(args.workers, 0), name=args.name
+        )
+    except (KeyError, OSError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro sweep: error: {message}", file=sys.stderr)
+        return 2
+    print(result.markdown_table())
+    path = write_sweep_outputs(result, args.out_dir)
+    print(f"\nsweep report written to {path} ({len(result.rows)} cells)")
+    if result.violations:
+        for violation in result.violations:
+            print(f"repro sweep: INVARIANT VIOLATED: {violation}", file=sys.stderr)
+        return 3
+    print("metamorphic invariants hold: fault-monotonicity, "
+          "shards1-identity, churn-no-leak")
     return 0
 
 
@@ -691,6 +861,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "fig":
         return _cmd_fig(args)
     if args.command == "bench":

@@ -50,10 +50,12 @@ from ..api.service import (
     RUN_TAIL_S,
     STATUS_CANCELLED,
     MobiQueryService,
+    ServiceClosedError,
     SessionHandle,
     resolve_user_id,
 )
 from ..experiments.config import ExperimentConfig
+from ..faults.plan import FaultPlan
 from ..geometry.shapes import Rect
 from ..workload.engine import WorkloadResult
 from .partition import (
@@ -110,6 +112,13 @@ class ClusterService:
         workers: worker processes for the batch ``finalize()`` path
             (0/1 = in-process; capped at the shard count).
         epoch_s: lockstep epoch length for cluster-level advancing.
+        faults: optional cluster-wide :class:`FaultPlan`.  World faults
+            (crashes/blackouts/degradations) are handed to every shard —
+            each world applies what falls inside it, so ``shards=1`` stays
+            bit-identical to a faulted single service.  ``worker_kills``
+            exercise the batch path: the named shard's worker outcome is
+            discarded once and the shard replayed on a fresh (serial)
+            worker, bit-identically.
     """
 
     def __init__(
@@ -120,6 +129,7 @@ class ClusterService:
         partitioner: Union[Partitioner, str, None] = None,
         workers: int = 0,
         epoch_s: float = DEFAULT_EPOCH_S,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shard count must be >= 1, got {shards}")
@@ -129,6 +139,7 @@ class ClusterService:
         self.admission = admission or AcceptAllPolicy()
         self.partitioner = make_partitioner(partitioner)
         self.workers = workers
+        self.faults = faults if faults is not None else FaultPlan()
         self.regions: List[Rect] = self.partitioner.partition(
             config.network.region, shards
         )
@@ -143,7 +154,7 @@ class ClusterService:
         ]
         adapter = _ClusterAdmission(self)
         self.services: List[MobiQueryService] = [
-            MobiQueryService(shard_config, admission=adapter)
+            MobiQueryService(shard_config, admission=adapter, faults=self.faults)
             for shard_config in self.shard_configs
         ]
         self.scheduler = LockstepScheduler(
@@ -159,6 +170,7 @@ class ClusterService:
         ]
         self._stats_override: Dict[int, BackendStats] = {}
         self._completed = False
+        self._closed = False
         self._closed_result: Optional[WorkloadResult] = None
         #: True when the last finalize actually ran in worker processes
         self.parallel_used = False
@@ -258,8 +270,14 @@ class ClusterService:
         service uses — so a one-shard cluster assigns the exact id
         sequence ``MobiQueryService`` would.
         """
+        if self._closed:
+            raise ServiceClosedError(
+                "submit() on a closed cluster (close() already sealed the run)"
+            )
         if self._completed:
-            raise ValueError("the service horizon has passed (run finished)")
+            raise ServiceClosedError(
+                "the service horizon has passed (run finished)"
+            )
         user_id = resolve_user_id(self.handles, request.user_id)
         if request.user_id is None:
             # Bake the cluster-assigned id in so the shard's local ids
@@ -346,10 +364,25 @@ class ClusterService:
         )
 
     def close(self) -> WorkloadResult:
-        """Finalize once and seal the cluster (idempotent)."""
+        """Finalize once and seal the cluster (idempotent).
+
+        Sealing propagates to every shard service, so a handle's
+        ``result()``/``results()`` after close raises the same
+        :class:`~repro.api.service.ServiceClosedError` a single-world
+        backend raises — callers keep the returned
+        :class:`WorkloadResult` instead.
+        """
         if self._closed_result is None:
             self._closed_result = self.finalize()
+        self._closed = True
+        for service in self.services:
+            service._closed = True
         return self._closed_result
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has sealed the cluster."""
+        return self._closed
 
     # ------------------------------------------------------------------
     # The workers=N batch path
@@ -375,12 +408,14 @@ class ClusterService:
         self.parallel_used = False
         if not self._parallel_eligible():
             return False
+        plan_faults = None if self.faults.empty else self.faults
         plans = [
             ShardPlan(
                 shard=index,
                 config=self.shard_configs[index],
                 requests=tuple(self._requests_log[index]),
                 decisions=tuple(self._decisions_log[index]),
+                faults=plan_faults,
             )
             for index in range(len(self.services))
         ]
@@ -390,9 +425,41 @@ class ClusterService:
         outcomes = run_shards_parallel(plans, max_workers=workers)
         if outcomes is None:
             return False
+        outcomes = self._replay_killed_workers(plans, outcomes)
         self._apply_outcomes(outcomes)
         self.parallel_used = True
         return True
+
+    def _replay_killed_workers(
+        self, plans: List[ShardPlan], outcomes: List[ShardOutcome]
+    ) -> List[ShardOutcome]:
+        """Apply the plan's ``worker_kills``: discard each named shard's
+        worker outcome once and replay the shard on a fresh worker.
+
+        Shard worlds are deterministic functions of their plan, so the
+        restarted worker reproduces the killed one's results bit for bit —
+        a kill costs wall-clock, never correctness.
+        """
+        from .transport import run_shard_plan
+
+        killed = {
+            kill.shard
+            for kill in self.faults.worker_kills
+            if kill.shard < len(plans)
+        }
+        if not killed:
+            return outcomes
+        by_shard = {outcome.shard: outcome for outcome in outcomes}
+        for shard in sorted(killed):
+            tracer = self.services[shard].tracer
+            tracer.emit(
+                "worker-killed", self.services[shard].sim.now, shard=shard
+            )
+            by_shard[shard] = run_shard_plan(plans[shard])
+            tracer.emit(
+                "worker-restarted", self.services[shard].sim.now, shard=shard
+            )
+        return [by_shard[plan.shard] for plan in plans]
 
     def _apply_outcomes(self, outcomes: List[ShardOutcome]) -> None:
         """Graft worker results onto the in-process handles."""

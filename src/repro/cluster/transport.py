@@ -26,6 +26,7 @@ from ..api.admission import AdmissionDecision, AdmissionPolicy
 from ..api.backend import BackendStats
 from ..api.requests import QueryRequest
 from ..experiments.config import ExperimentConfig
+from ..faults.plan import FaultPlan
 from ..workload.session import SessionResult
 
 
@@ -106,6 +107,10 @@ class ShardPlan:
     requests: Tuple[QueryRequest, ...] = ()
     #: the admission verdict recorded for each submission, same order
     decisions: Tuple[AdmissionDecision, ...] = ()
+    #: the cluster's fault plan (each shard applies what falls inside its
+    #: world: crashes above the shard's node count are skipped, blackouts
+    #: outside its region find no victims); None = fault-free
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass(frozen=True)
@@ -131,7 +136,9 @@ def run_shard_plan(plan: ShardPlan) -> ShardOutcome:
     from ..api.service import MobiQueryService
 
     service = MobiQueryService(
-        plan.config, admission=ReplayAdmissionPolicy(plan.decisions)
+        plan.config,
+        admission=ReplayAdmissionPolicy(plan.decisions),
+        faults=plan.faults,
     )
     for request in plan.requests:
         service.submit(request)

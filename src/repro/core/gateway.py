@@ -55,6 +55,9 @@ class DeliveryRecord:
     area_center: Optional[Vec2] = None
     #: the exact placed query area, when the service reported it
     area: Optional[object] = None
+    #: True when the result was salvaged through fault recovery
+    #: (collector re-election) rather than the normal collection path
+    degraded: bool = False
 
 
 class BaseGateway:
@@ -77,6 +80,13 @@ class BaseGateway:
         #: set by :meth:`close`; a closed gateway ignores every scheduled
         #: callback and frame so a cancelled session goes silent immediately
         self.closed = False
+        #: flipped on by the service when a non-empty fault plan is active;
+        #: gates the watchdog's degraded-period accounting so fault-free
+        #: runs never mark periods degraded
+        self.faults_active = False
+        #: periods the fault-recovery machinery had to intervene on (or
+        #: knows it lost); surfaced as ``SessionResult.degraded_periods``
+        self.degraded_ks: Set[int] = set()
 
     def close(self) -> None:
         """Stop the proxy side of the session (cancel/teardown support).
@@ -110,6 +120,7 @@ class BaseGateway:
         contributors: FrozenSet[int],
         area_center: Optional[Vec2] = None,
         area: Optional[object] = None,
+        degraded: bool = False,
     ) -> None:
         """Append a delivery observation at the current time."""
         record = DeliveryRecord(
@@ -119,8 +130,11 @@ class BaseGateway:
             contributors=contributors,
             area_center=area_center,
             area=area,
+            degraded=degraded,
         )
         self.deliveries.append(record)
+        if degraded:
+            self.degraded_ks.add(k)
         self.last_delivered_k = max(self.last_delivered_k, k)
         self.tracer.emit(
             "delivery",
@@ -217,6 +231,12 @@ class MobiQueryGateway(BaseGateway):
             self._last_reinject_at = now
             k_next = k_due + 1
             if k_next <= self.spec.num_periods:
+                if self.faults_active:
+                    # Under an active fault plan the silent periods the
+                    # watchdog is recovering from count as degraded (they
+                    # are unrecoverable: their deadlines already passed).
+                    for k in range(self.last_delivered_k + 1, k_due + 1):
+                        self.degraded_ks.add(k)
                 self.tracer.emit("watchdog-reinject", now, k_next=k_next)
                 # Fresh generation: the re-injected chain must supersede
                 # whatever half-dead state the silence came from.
@@ -367,6 +387,7 @@ class MobiQueryGateway(BaseGateway):
             frozenset(msg.aggregate.contributors),
             area_center=msg.pickup,
             area=msg.area,
+            degraded=msg.degraded,
         )
 
 

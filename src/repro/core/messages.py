@@ -107,6 +107,9 @@ class ResultMessage:
     pickup: Vec2
     area: QueryArea
     user_id: int = 0
+    #: True when collector duty had to be re-elected after a crash — the
+    #: gateway marks the period as degraded in the session report
+    degraded: bool = False
 
 
 @dataclass(frozen=True)

@@ -87,6 +87,11 @@ class MobiQueryConfig:
         redeliver_setups: keep buffered setups pending across beacon
             windows until their period expires, PSM-style (ablation flag;
             disabling gives sleepers exactly one delivery chance).
+        reelect_attempt_limit: how many times collector duty may move to
+            another backbone node after a crash before the period is
+            abandoned (fault recovery; no effect without a fault plan).
+        reelect_backoff_s: base delay before a re-elected collector sends
+            the salvaged result; grows linearly with the attempt count.
     """
 
     prefetch_policy: str = POLICY_JIT
@@ -99,6 +104,8 @@ class MobiQueryConfig:
     cancel_miss_limit: int = 2
     parent_upgrade: bool = True
     redeliver_setups: bool = True
+    reelect_attempt_limit: int = 3
+    reelect_backoff_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.prefetch_policy not in (POLICY_JIT, POLICY_GREEDY):
@@ -636,6 +643,26 @@ class MobiQueryProtocol:
     def _send_report(self, node: SensorNode, state: TreeNodeState) -> None:
         if state.parent_id is None:
             return  # the collector's aggregate leaves via the result path
+        dest = state.parent_id
+        parent = self._node_or_none(dest)
+        if parent is not None and parent.crashed and dest != state.collector_id:
+            # Dead parent (fault plane): skip it and aim the report straight
+            # at the tree root — one bounded fallback, taken only when the
+            # parent is actually crashed, so fault-free runs are untouched.
+            root = self._node_or_none(state.collector_id)
+            if root is None or root.crashed:
+                self.tracer.emit(
+                    "report-dropped", self.sim.now, node=node.node_id, k=state.k
+                )
+                return
+            dest = state.collector_id
+            self.tracer.emit(
+                "report-reroute",
+                self.sim.now,
+                node=node.node_id,
+                dead_parent=state.parent_id,
+                k=state.k,
+            )
         message = ReportMessage(
             query_id=state.query_id,
             k=state.k,
@@ -646,11 +673,18 @@ class MobiQueryProtocol:
         frame = Frame(
             kind="mq-report",
             src=node.node_id,
-            dst=state.parent_id,
+            dst=dest,
             size_bytes=REPORT_SIZE_BYTES + 2 * len(message.partial.contributors),
             payload=message,
         )
         node.send(frame)
+
+    def _node_or_none(self, node_id: int) -> Optional[SensorNode]:
+        """The sensor node with ``node_id``, or None for proxies/unknowns."""
+        try:
+            return self.network.node_by_id(node_id)
+        except (IndexError, KeyError):
+            return None
 
     def _on_report(self, node: SensorNode, frame: Frame) -> None:
         msg: ReportMessage = frame.payload
@@ -665,6 +699,11 @@ class MobiQueryProtocol:
 
     def _send_result(self, node: SensorNode, collector: CollectorState) -> None:
         if collector.cancelled or collector.result_sent:
+            return
+        if node.crashed:
+            # The collector died before its result left (fault plane):
+            # try to move collector duty to a surviving backbone node.
+            self._reelect_collector(node, collector)
             return
         collector.result_sent = True
         spec = collector.spec
@@ -687,6 +726,7 @@ class MobiQueryProtocol:
             pickup=self.pickup_point(collector.profile, spec, collector.k),
             area=area,
             user_id=spec.user_id,
+            degraded=collector.degraded,
         )
         frame = Frame(
             kind="mq-result",
@@ -713,6 +753,95 @@ class MobiQueryProtocol:
         # The query area is only queried once (Section 4.4): collector duty
         # for this period ends with the result transmission.
         self._release_collector(collector, reason="completed")
+
+    def _reelect_collector(
+        self, dead_node: SensorNode, collector: CollectorState
+    ) -> None:
+        """Move collector duty off a crashed node (fault recovery).
+
+        The partial aggregate lives in protocol-level tree state, so it is
+        transferable: the nearest surviving backbone node to the pickup
+        point inherits the root state (merging into its own membership if
+        it was already in the tree) and retries the result send after a
+        linear backoff.  Attempts are bounded; an unrecoverable period is
+        released as *lost* and surfaces as a missed (degraded) period in
+        the session report rather than a hang.
+        """
+        spec = collector.spec
+        if spec.session_key in self._dead_sessions:
+            # A recovering chain must not resurrect a cancelled session.
+            self._release_collector(collector, reason="session-released")
+            return
+        if collector.reelect_attempts >= self.config.reelect_attempt_limit:
+            self.tracer.emit(
+                "collector-lost", self.sim.now, k=collector.k, node=dead_node.node_id
+            )
+            self._release_collector(collector, reason="lost")
+            return
+        collector.reelect_attempts += 1
+        pickup = self.pickup_point(collector.profile, spec, collector.k)
+        candidates = [
+            n
+            for n in self.network.active_nodes_in_disk(
+                pickup, self.network.config.comm_range_m
+            )
+            if not n.crashed and n.node_id != dead_node.node_id
+        ]
+        if not candidates:
+            candidates = [
+                n
+                for n in self.network.active_nodes
+                if not n.crashed and n.node_id != dead_node.node_id
+            ]
+        if not candidates:
+            self.tracer.emit(
+                "collector-lost", self.sim.now, k=collector.k, node=dead_node.node_id
+            )
+            self._release_collector(collector, reason="lost")
+            return
+        new_node = min(
+            candidates,
+            key=lambda n: (n.position.distance_sq_to(pickup), n.node_id),
+        )
+        old_key = (dead_node.node_id, spec.user_id, spec.query_id, collector.k)
+        new_key = (new_node.node_id, spec.user_id, spec.query_id, collector.k)
+        old_state = self._tree_states.pop(old_key, None)
+        existing = self._tree_states.get(new_key)
+        if existing is not None:
+            # The heir was already a tree member: promote it to root in
+            # place, folding in whatever the dead root had aggregated.
+            existing.cancel_timer()
+            existing.parent_id = None
+            existing.collector_id = new_node.node_id
+            if old_state is not None:
+                existing.partial.merge(old_state.partial)
+        elif old_state is not None:
+            old_state.cancel_timer()
+            old_state.node_id = new_node.node_id
+            old_state.parent_id = None
+            old_state.collector_id = new_node.node_id
+            self._tree_states[new_key] = old_state
+            self.sim.schedule_at(
+                old_state.deadline + self.config.state_gc_grace_s,
+                self._gc_tree_state,
+                new_key,
+            )
+        collector.node_id = new_node.node_id
+        collector.degraded = True
+        self.tracer.emit(
+            "collector-reelected",
+            self.sim.now,
+            k=collector.k,
+            dead=dead_node.node_id,
+            heir=new_node.node_id,
+            attempt=collector.reelect_attempts,
+        )
+        collector.result_timer = self.sim.schedule(
+            self.config.reelect_backoff_s * collector.reelect_attempts,
+            self._send_result,
+            new_node,
+            collector,
+        )
 
     # ------------------------------------------------------------------
     # Phase 4 — cancellation

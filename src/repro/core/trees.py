@@ -67,6 +67,12 @@ class CollectorState:
     result_sent: bool = False
     forward_timer: Optional[EventHandle] = None
     result_timer: Optional[EventHandle] = None
+    #: times collector duty moved to another node after a crash (fault
+    #: recovery); bounded by the protocol's re-election limit
+    reelect_attempts: int = 0
+    #: set when this period's result was salvaged through re-election —
+    #: carried on the result message and surfaced as a degraded period
+    degraded: bool = False
 
     @property
     def session_key(self) -> "tuple[int, int]":

@@ -140,9 +140,13 @@ def _legacy_requests(config: ExperimentConfig, streams: RandomStreams) -> List[Q
     ]
 
 
-def run_experiment(config: ExperimentConfig) -> RunResult:
-    """Run one full session (or N concurrent ones) described by ``config``."""
-    service = MobiQueryService(config)
+def run_experiment(config: ExperimentConfig, faults=None) -> RunResult:
+    """Run one full session (or N concurrent ones) described by ``config``.
+
+    ``faults`` optionally injects a :class:`~repro.faults.plan.FaultPlan`;
+    ``None`` (or an empty plan) is bit-identical to the pre-fault runner.
+    """
+    service = MobiQueryService(config, faults=faults)
     sessions: List[SessionResult] = []
     metrics = None
     if config.mode != MODE_IDLE:

@@ -1,0 +1,45 @@
+"""Deterministic fault injection for the MobiQuery reproduction.
+
+The paper's evaluation assumes every sensor node survives the whole run;
+real deployments lose nodes to energy depletion, crashes, and regional
+outages.  This package makes that failure surface a first-class,
+*deterministic* part of a run:
+
+* :class:`FaultPlan` — a declarative, strictly-validated schedule of node
+  crashes/recoveries, region blackouts, transient radio-degradation
+  windows, and cluster shard-worker kills (the ``faults`` key of a
+  scenario, or ``repro run --faults plan.json``).
+* :class:`FaultInjector` — executes a plan against a built network.  All
+  stochastic draws come from the dedicated ``"faults"`` RNG stream, so an
+  empty plan is bit-identical to a run without the fault plane at all —
+  every golden fingerprint stays green.
+
+Recovery lives in the protocol layer (collector re-election, report
+re-routing around dead parents, watchdog re-injection); this package only
+breaks things, deterministically.
+
+The adversarial sweep (``repro sweep``) lives in
+:mod:`repro.faults.sweep` — import it explicitly
+(``from repro.faults.sweep import run_sweep``): it sits *above* the API
+layer, so re-exporting it here would cycle the import graph.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    FaultPlan,
+    NodeCrash,
+    RadioDegradation,
+    RegionBlackout,
+    WorkerKill,
+    load_fault_file,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "NodeCrash",
+    "RadioDegradation",
+    "RegionBlackout",
+    "WorkerKill",
+    "load_fault_file",
+]

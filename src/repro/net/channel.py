@@ -275,6 +275,11 @@ class Channel:
         #: listener ids — lets the begin kernel AND against ``listening``
         #: in one full-width op instead of fancy-indexing per transmit
         self._cover_masks: Dict[int, object] = {}
+        #: fault-plane jam hook: when set (only while a radio-degradation
+        #: window is open), consulted once per transmitted frame; a True
+        #: return corrupts the whole cohort.  None outside fault windows,
+        #: so the default path pays one attribute read per transmit.
+        self.fault_jam: Optional[Callable[[Frame], bool]] = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -578,6 +583,9 @@ class Channel:
                 static_listeners, now,
             )
         record.on_airtime_end = on_airtime_end
+        jam = self.fault_jam
+        if jam is not None and jam(frame):
+            self._corrupt_cohort(record, "fault-degraded")
         self._active.append(record)
         busy_count = self._busy_count
         busy_latest = self._busy_latest
@@ -594,6 +602,25 @@ class Channel:
                 tracer.tick("tx")
         self.sim.schedule_fast(duration, self._finish_transmission, sender, record)
         return duration
+
+    def _corrupt_cohort(self, record: BroadcastReception, reason: str) -> None:
+        """Corrupt every still-clean reception of one in-flight frame.
+
+        Works on both record layouts — list-backed ``corrupt``/``reasons``
+        and the array-backed :class:`_VectorReception` (numpy flags, sparse
+        reason dict) — through the same per-slot writes
+        :meth:`Radio.set_state` uses, and releases each radio's clean-slot
+        pointer (plain attribute or store-backed property) to preserve the
+        at-most-one-clean-reception invariant the finish loops rely on.
+        """
+        corrupt = record.corrupt
+        reasons = record.reasons
+        for i, receiver in enumerate(record.receivers):
+            if corrupt[i]:
+                continue
+            corrupt[i] = True
+            reasons[i] = reason
+            receiver.radio._rx_record = None
 
     def _bind_store(self) -> Optional["vectorized.VectorStore"]:
         """Migrate every static radio onto a fresh :class:`VectorStore`.

@@ -147,8 +147,25 @@ class FloodManager:
         jitter = float(node.rng.uniform(5e-4, 4e-3))
         node.sim.schedule(jitter, self._rebroadcast, node, envelope)
 
-    def _rebroadcast(self, node: SensorNode, envelope: FloodEnvelope) -> None:
+    #: deferred-rebroadcast retries for a node that is *crashed* (not merely
+    #: duty-cycled) at its slot — it may recover and still widen coverage
+    _CRASH_RETRIES = 2
+    _CRASH_RETRY_S = 1.0
+
+    def _rebroadcast(
+        self, node: SensorNode, envelope: FloodEnvelope, retries: int = _CRASH_RETRIES
+    ) -> None:
         if envelope.flood_id in self._released:
+            return
+        if node.crashed:
+            # Fault-plane death, not PSM sleep: defer a bounded number of
+            # times in case the node recovers while the flood is still
+            # live.  Ordinary sleepers keep the silent skip below — this
+            # branch is unreachable without an active fault plan.
+            if retries > 0:
+                node.sim.schedule(
+                    self._CRASH_RETRY_S, self._rebroadcast, node, envelope, retries - 1
+                )
             return
         if node.radio.is_sleeping:
             return

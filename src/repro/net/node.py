@@ -66,6 +66,9 @@ class SensorNode:
         # instead of two (the class method below documents the contract).
         self.deliver_frame = self.mac.on_frame  # type: ignore[method-assign]
         self.role = ROLE_ACTIVE
+        #: set by the fault plane while the node is down (forced sleep with
+        #: wake blocked); protocol recovery paths key off this flag
+        self.crashed = False
         self.sleep_scheduler: Optional[SleepScheduler] = None
         #: all nodes within communication range (set by the network builder)
         self.neighbors: List["SensorNode"] = []

@@ -114,6 +114,7 @@ class UserSession:
             start_s=self.spec.start_s,
             metrics=metrics,
             deliveries=len(self.gateway.deliveries),
+            degraded_periods=len(self.gateway.degraded_ks),
         )
 
 
@@ -126,6 +127,10 @@ class SessionResult:
     start_s: float
     metrics: SessionMetrics
     deliveries: int
+    #: periods the fault-recovery machinery intervened on (collector
+    #: re-election, watchdog recovery under an active fault plan); always
+    #: 0 in fault-free runs
+    degraded_periods: int = 0
 
     @property
     def success_ratio(self) -> float:

@@ -12,6 +12,7 @@ from repro.api import (
     QueryRequest,
 )
 from repro.api.admission import PerAreaCapPolicy, PhaseAssignPolicy
+from repro.api.service import ServiceClosedError
 from repro.cluster import (
     BalancedKDPartitioner,
     ClusterService,
@@ -154,7 +155,7 @@ class TestBackendProtocol:
         submit_fleet(service, 1)
         first = service.close()
         assert service.close() is first
-        with pytest.raises(ValueError, match="horizon has passed"):
+        with pytest.raises(ServiceClosedError, match="closed service"):
             service.submit(QueryRequest(radius_m=50.0))
 
 
@@ -451,7 +452,7 @@ class TestClusterLifecycle:
         cluster = ClusterService(small_config(), shards=2)
         submit_fleet(cluster, 2)
         cluster.close()
-        with pytest.raises(ValueError, match="horizon has passed"):
+        with pytest.raises(ServiceClosedError, match="closed cluster"):
             cluster.submit(QueryRequest(radius_m=50.0))
 
     def test_stats_aggregate_over_shards(self):

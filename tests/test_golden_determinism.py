@@ -119,6 +119,52 @@ def test_rerun_is_self_identical():
     assert first.user_success_ratios == second.user_success_ratios
 
 
+def _fingerprint(result):
+    return (
+        result.events_executed,
+        result.frames_sent,
+        result.frames_delivered,
+        result.frames_collided,
+        tuple(result.user_success_ratios),
+        result.power.mean_sleeper_power_w,
+    )
+
+
+@pytest.mark.parametrize("num_users", [1, 4])
+def test_empty_fault_plan_is_bit_identical(num_users):
+    """RNG-stream hygiene: the fault plane rides a dedicated ``"faults"``
+    stream, so merely importing the module, building the (empty) plan, and
+    threading it through the runner must not move a single golden pin."""
+    from repro.faults import FaultPlan
+
+    plain = run_experiment(_config(num_users))
+    with_empty_plan = run_experiment(_config(num_users), faults=FaultPlan())
+    with_empty_dict_plan = run_experiment(
+        _config(num_users), faults=FaultPlan.from_dict({})
+    )
+    assert _fingerprint(plain) == _fingerprint(with_empty_plan)
+    assert _fingerprint(plain) == _fingerprint(with_empty_dict_plan)
+    name = "single_user" if num_users == 1 else "four_user"
+    expected = GOLDEN_RESULTS[name]
+    assert plain.frames_sent == expected["frames_sent"]
+    assert tuple(plain.user_success_ratios) == expected["success_ratios"]
+    assert plain.events_executed == GOLDEN_EVENT_COUNTS[name]
+
+
+def test_worker_kill_only_plan_leaves_the_world_identical():
+    """A plan that only kills pool workers replays shards bit-identically;
+    the simulated world (and thus every pin) is untouched by design."""
+    from repro.faults import FaultPlan, WorkerKill
+
+    plan = FaultPlan(worker_kills=(WorkerKill(shard=0),))
+    assert plan.world_empty and not plan.empty
+    result = run_experiment(_config(1), faults=plan)
+    expected = GOLDEN_RESULTS["single_user"]
+    assert result.frames_sent == expected["frames_sent"]
+    assert tuple(result.user_success_ratios) == expected["success_ratios"]
+    assert result.events_executed == GOLDEN_EVENT_COUNTS["single_user"]
+
+
 def test_parallel_replications_match_serial_per_seed():
     """run_replications_parallel returns per-seed results identical to the
     serial path, in seed order (forced 2-worker pool, real processes)."""

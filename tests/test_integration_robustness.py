@@ -154,6 +154,79 @@ class TestConcurrentQueries:
             assert d.area_center.distance_to(Vec2(84, 126)) < 1.0
 
 
+class TestCancelCrashChurn:
+    """Heavy interleaved cancel + node-crash churn must leave *zero*
+    residual state: no kernel events beyond the PSM floor, no wake-wheel
+    registrations, no flood-dedup entries, no scheduler slots.  The probe
+    is the same census ``repro sweep`` runs per grid cell."""
+
+    def _spec(self, faults):
+        from repro.api.scenarios import ScenarioSpec
+
+        return ScenarioSpec(
+            name="churn",
+            seed=5,
+            duration_s=24.0,
+            network={"n_nodes": 60, "sleep_period_s": 3.0},
+            requests=(
+                {"radius_m": 50.0, "period_s": 2.0, "freshness_s": 1.0,
+                 "count": 4, "spacing_s": 1.0},
+            ),
+            faults=faults,
+        )
+
+    def test_cancel_churn_leaves_no_residue_fault_free(self):
+        from repro.faults.sweep import churn_leak_probe
+
+        leaks = churn_leak_probe(self._spec({}))
+        assert leaks == {k: 0 for k in leaks}, leaks
+
+    def test_cancel_churn_leaves_no_residue_under_faults(self):
+        from repro.faults.sweep import churn_leak_probe
+
+        faults = {
+            "blackouts": [
+                {"x": 112, "y": 112, "radius_m": 80, "at_s": 6.0,
+                 "duration_s": 5.0}
+            ],
+            "degradations": [
+                {"at_s": 12.0, "duration_s": 3.0, "corruption_prob": 0.4}
+            ],
+            "crashes": [{"node_id": 7, "at_s": 4.0}],  # never recovers
+        }
+        leaks = churn_leak_probe(self._spec(faults))
+        assert leaks == {k: 0 for k in leaks}, leaks
+
+    def test_recovering_nodes_cannot_resurrect_cancelled_state(self, sim):
+        """A crash window spanning a cancellation: when the victims wake,
+        the dead-session guards must drop any stale tree state instead of
+        re-growing it."""
+        from repro.api import MobiQueryService, QueryRequest
+        from repro.experiments.config import ExperimentConfig, QueryParams
+        from repro.faults import FaultPlan
+        from repro.net.network import NetworkConfig
+
+        plan = FaultPlan.from_dict(
+            {"blackouts": [{"x": 60, "y": 60, "radius_m": 90, "at_s": 6.0,
+                            "duration_s": 6.0}]}
+        )
+        config = ExperimentConfig(
+            mode="jit", seed=5, duration_s=24.0,
+            network=NetworkConfig(n_nodes=60, sleep_period_s=3.0),
+            query=QueryParams(radius_m=50.0, period_s=2.0, freshness_s=1.0),
+        )
+        service = MobiQueryService(config, faults=plan)
+        handle = service.submit(
+            QueryRequest(radius_m=50.0, period_s=2.0, freshness_s=1.0)
+        ).require_admitted()
+        service.advance(8.0)   # mid-blackout
+        handle.cancel()
+        service.advance(30.0)  # recovery + drain window
+        assert service.protocol.tree_state_count() == 0
+        assert len(service.protocol._collectors) == 0
+        assert service.flood.live_flood_count() == 0
+
+
 class TestMetricsEdges:
     def test_no_deliveries_scores_zero(self, sim):
         stack = Stack(sim)
