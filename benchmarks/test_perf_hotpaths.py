@@ -1,8 +1,11 @@
 """Hot-path performance harness — events/sec, wall-clock, and gating.
 
 Times the canonical scenarios (the fig4 single-user setting, the 16-user
-scaling point, and the heterogeneous-mix service-façade run), writes
-``BENCH_perf.json`` at the repo root, and enforces three properties:
+scaling point, and the heterogeneous-mix service-façade run), writes a
+fresh report to ``REPRO_PERF_REPORT`` (default: a per-run temp file —
+the committed ``BENCH_perf.json`` is only ever regenerated through the
+explicit ``make bench-perf`` flow, so a plain test run cannot dirty the
+pinned baseline with machine noise), and enforces three properties:
 
 * **Determinism** (always): each scenario's result fingerprint (frame
   counts, mean success) and event-count fingerprint must equal the pinned
@@ -16,8 +19,7 @@ scaling point, and the heterogeneous-mix service-façade run), writes
   BENCH_perf.json previously written elsewhere, events/sec may not drop
   more than ``REPRO_PERF_THRESHOLD`` (default 20%) below it.  Same
   machine: use the strict default (``make perf-gate``).  CI diffs the
-  fresh measurement against the committed report (copied aside first —
-  the run overwrites ``BENCH_perf.json``) with a widened threshold,
+  fresh measurement against the committed report with a widened threshold,
   because the committed numbers come from a different machine and
   per-core runner speed routinely varies by tens of percent; the wide
   gate still catches structural regressions (the O(overrides^2) PSM
@@ -52,21 +54,25 @@ from repro.net.packet import BROADCAST, Frame
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 
-REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
-
 #: repeats per scenario; 2 keeps the smoke cheap while absorbing one
 #: scheduler hiccup (the minimum is reported)
 REPEATS = 2
 
 
-def test_perf_hotpaths(once, emit):
+def test_perf_hotpaths(once, emit, tmp_path):
     report = once(run_perf_suite, repeats=REPEATS)
     emit(format_perf_report(report))
-    write_report(report, str(REPORT_PATH))
+    # Never the committed BENCH_perf.json: that file is a pinned baseline
+    # regenerated only via `make bench-perf` alongside an explaining code
+    # change.  CI points REPRO_PERF_REPORT at its artifact path.
+    report_path = Path(
+        os.environ.get("REPRO_PERF_REPORT") or tmp_path / "BENCH_perf.json"
+    )
+    write_report(report, str(report_path))
 
     # The artifact must carry both the fresh numbers and the recorded
     # pre-PR baseline, so the speedup trajectory travels with the file.
-    written = json.loads(REPORT_PATH.read_text())
+    written = json.loads(report_path.read_text())
     assert written["pre_pr_baseline"] == PRE_PR_BASELINE
     for name in ("fig4_jit", "scale_16users", "hetero_mix_8users"):
         assert name in written["scenarios"]
