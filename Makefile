@@ -10,6 +10,7 @@
 #   make profile         cProfile one bench scenario (SCENARIO=..., ARGS=...)
 #   make examples-smoke  run every examples/ script at quick scale
 #   make sweep-smoke     quick adversarial robustness sweep (invariant gate)
+#   make serve-smoke     daemon + slam + SIGTERM drain + bit-identical replay
 #   make check           what CI runs on every push
 
 PY ?= python
@@ -20,7 +21,10 @@ EXAMPLE_SMOKE_DURATION ?= 30
 #: default scenario for `make profile`
 SCENARIO ?= scale_16users
 
-.PHONY: test bench bench-smoke bench-perf bench-cluster perf-gate profile examples-smoke sweep-smoke check
+#: port the serve smoke binds (ephemeral-ish, off the default 8600)
+SERVE_SMOKE_PORT ?= 8641
+
+.PHONY: test bench bench-smoke bench-perf bench-cluster perf-gate profile examples-smoke sweep-smoke serve-smoke check
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q tests/
@@ -68,6 +72,35 @@ sweep-smoke:
 	PYTHONPATH=src $(PY) -m repro sweep blackout-recovery-16users \
 		--duration 36 --users 2,4 --shards 1,2 --intensities 0,1 \
 		--arrivals staggered --name robustness-smoke
+
+# The serving-layer smoke: boot the daemon, slam it with the rush-hour
+# burst from 4 concurrent clients, drain it with SIGTERM, then prove the
+# recorded submission log replays bit-identically.  Artifacts land in
+# SERVE_serve-smoke.json + SLAM_serve-smoke.json.
+serve-smoke:
+	@rm -f SERVE_serve-smoke.json SLAM_serve-smoke.json; \
+	PYTHONPATH=src $(PY) -m repro serve rush-hour-burst --duration 30 \
+		--port $(SERVE_SMOKE_PORT) --time-scale 6 --drain-timeout 120 \
+		--name serve-smoke & \
+	SERVE_PID=$$!; \
+	ready=0; \
+	for i in $$(seq 1 100); do \
+		if $(PY) -c "import urllib.request; urllib.request.urlopen('http://127.0.0.1:$(SERVE_SMOKE_PORT)/healthz', timeout=1)" 2>/dev/null; then \
+			ready=1; break; \
+		fi; \
+		sleep 0.2; \
+	done; \
+	if [ $$ready -ne 1 ]; then \
+		echo "serve-smoke: daemon never answered /healthz"; \
+		kill $$SERVE_PID 2>/dev/null; exit 1; \
+	fi; \
+	PYTHONPATH=src $(PY) -m repro slam rush-hour-burst --sim-duration 30 \
+		--url http://127.0.0.1:$(SERVE_SMOKE_PORT) --rate 16 --clients 4 \
+		--duration 90 --name serve-smoke \
+		|| { kill $$SERVE_PID 2>/dev/null; exit 1; }; \
+	kill -TERM $$SERVE_PID; \
+	wait $$SERVE_PID || exit 1; \
+	PYTHONPATH=src $(PY) -m repro replay SERVE_serve-smoke.json
 
 # One-command cProfile of a canonical scenario (the ROADMAP recipe):
 #   make profile SCENARIO=fig4_jit ARGS="--sort cumtime --top 40"

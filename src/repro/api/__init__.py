@@ -38,11 +38,13 @@ from .scenarios import (
     ScenarioResult,
     ScenarioSpec,
     build_backend,
+    build_request_payloads,
     build_requests,
     build_service,
     get_scenario,
     list_scenarios,
     load_scenario_file,
+    request_from_payload,
     run_scenario,
 )
 from .service import (
@@ -88,6 +90,8 @@ __all__ = [
     "list_scenarios",
     "load_scenario_file",
     "build_requests",
+    "build_request_payloads",
+    "request_from_payload",
     "build_service",
     "build_backend",
     "run_scenario",

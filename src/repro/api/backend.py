@@ -20,8 +20,8 @@ structurally (``isinstance(backend, QueryBackend)``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Dict, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..workload.engine import WorkloadResult
@@ -53,6 +53,10 @@ class BackendStats:
     admitted: int = 0
     rejected: int = 0
     cancelled: int = 0
+
+    def to_dict(self) -> Dict:
+        """JSON-ready plain-dict form (the serve daemon's ``/stats`` shape)."""
+        return asdict(self)
 
 
 @runtime_checkable

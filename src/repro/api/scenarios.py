@@ -43,7 +43,7 @@ from ..geometry.vec import Vec2
 from ..mobility.models import patrol_path
 from ..net.network import NetworkConfig
 from ..workload.engine import WorkloadResult
-from .admission import make_admission_policy
+from .admission import AdmissionPolicy, make_admission_policy
 from .backend import QueryBackend
 from .requests import QueryRequest
 from .service import MobiQueryService, SessionHandle
@@ -55,6 +55,9 @@ _EXPANSION_KEYS = ("count", "spacing_s", "path", "aggregation")
 _REQUEST_KEYS = frozenset(
     f.name for f in dataclass_fields(QueryRequest)
 ) | set(_EXPANSION_KEYS)
+
+#: every key one *expanded* request payload may carry (no count/spacing)
+_PAYLOAD_KEYS = _REQUEST_KEYS - {"count", "spacing_s"}
 
 #: every key the ``network`` override dict may carry
 _NETWORK_KEYS = frozenset(f.name for f in dataclass_fields(NetworkConfig))
@@ -226,6 +229,57 @@ def _build_path(path_spec: Dict):
     raise ValueError(f"unknown path kind {kind!r}; expected 'random' or 'patrol'")
 
 
+def request_from_payload(payload: Dict) -> QueryRequest:
+    """One concrete :class:`QueryRequest` from its JSON-able dict form.
+
+    The payload is a request template *after* expansion (no ``count`` /
+    ``spacing_s``): ``aggregation`` may be a name string, ``path`` a path
+    dict (``{"kind": "patrol", ...}``); every other key maps straight to
+    a :class:`QueryRequest` field.  Shared by :func:`build_requests` and
+    the serve daemon's wire codec, so an over-the-wire submission builds
+    exactly the request the in-process expansion would.
+    """
+    _reject_unknown_keys(payload, _PAYLOAD_KEYS, "request-payload")
+    kwargs = dict(payload)
+    aggregation = kwargs.get("aggregation")
+    if aggregation is None:
+        kwargs.pop("aggregation", None)
+    elif not isinstance(aggregation, Aggregation):
+        kwargs["aggregation"] = Aggregation(str(aggregation).lower())
+    path_spec = kwargs.pop("path", None)
+    if path_spec is not None:
+        kwargs["path"] = _build_path(path_spec)
+    return QueryRequest(**kwargs)
+
+
+def build_request_payloads(spec: ScenarioSpec) -> List[Dict]:
+    """Expand the templates into JSON-able per-user request payloads.
+
+    The same expansion :func:`build_requests` performs — ``count``
+    cloning, ``spacing_s`` staggering, start clamping so a scaled-down
+    scenario keeps one serviceable period per user — but stopping at
+    plain data: one payload dict per user, in template order.  This is
+    what ``repro slam`` replays over the wire against a live daemon.
+    """
+    payloads: List[Dict] = []
+    for template in spec.requests:
+        count = int(template.get("count", 1))
+        spacing = float(template.get("spacing_s", 0.0))
+        if count < 1:
+            raise ValueError(f"request count must be >= 1, got {count}")
+        base = {
+            k: v for k, v in template.items() if k not in ("count", "spacing_s")
+        }
+        period = float(base.get("period_s", 2.0))
+        latest_start = spec.duration_s - period
+        for clone in range(count):
+            payload = dict(base)
+            start = float(base.get("start_s", 0.0)) + clone * spacing
+            payload["start_s"] = min(start, max(0.0, latest_start))
+            payloads.append(payload)
+    return payloads
+
+
 def build_requests(spec: ScenarioSpec) -> List[QueryRequest]:
     """Expand a scenario's request templates into concrete requests.
 
@@ -233,33 +287,7 @@ def build_requests(spec: ScenarioSpec) -> List[QueryRequest]:
     start so every user keeps at least one serviceable period — quick CLI
     runs of a long scenario stay valid instead of erroring out.
     """
-    requests: List[QueryRequest] = []
-    for template in spec.requests:
-        count = int(template.get("count", 1))
-        spacing = float(template.get("spacing_s", 0.0))
-        if count < 1:
-            raise ValueError(f"request count must be >= 1, got {count}")
-        base_kwargs = {
-            k: v for k, v in template.items() if k not in _EXPANSION_KEYS
-        }
-        aggregation = template.get("aggregation")
-        if aggregation is not None:
-            base_kwargs["aggregation"] = (
-                aggregation
-                if isinstance(aggregation, Aggregation)
-                else Aggregation(str(aggregation).lower())
-            )
-        period = float(base_kwargs.get("period_s", 2.0))
-        latest_start = spec.duration_s - period
-        for clone in range(count):
-            kwargs = dict(base_kwargs)
-            start = float(kwargs.get("start_s", 0.0)) + clone * spacing
-            kwargs["start_s"] = min(start, max(0.0, latest_start))
-            path_spec = template.get("path")
-            if path_spec is not None:
-                kwargs["path"] = _build_path(path_spec)
-            requests.append(QueryRequest(**kwargs))
-    return requests
+    return [request_from_payload(p) for p in build_request_payloads(spec)]
 
 
 # ----------------------------------------------------------------------
@@ -306,16 +334,29 @@ def _scenario_config(spec: ScenarioSpec) -> ExperimentConfig:
     )
 
 
-def build_service(spec: ScenarioSpec) -> MobiQueryService:
-    """The single-world service for a scenario (ignores ``shards``)."""
+def build_service(
+    spec: ScenarioSpec, admission: Optional[AdmissionPolicy] = None
+) -> MobiQueryService:
+    """The single-world service for a scenario (ignores ``shards``).
+
+    ``admission`` overrides the spec's configured policy — the replay
+    path installs a :class:`~repro.cluster.transport.ReplayAdmissionPolicy`
+    here to reproduce a recorded run's verdicts verbatim.
+    """
     return MobiQueryService(
         _scenario_config(spec),
-        admission=make_admission_policy(spec.admission),
+        admission=(
+            admission
+            if admission is not None
+            else make_admission_policy(spec.admission)
+        ),
         faults=spec.fault_plan(),
     )
 
 
-def build_backend(spec: ScenarioSpec) -> QueryBackend:
+def build_backend(
+    spec: ScenarioSpec, admission: Optional[AdmissionPolicy] = None
+) -> QueryBackend:
     """The backend a scenario asks for: one world, or a regional cluster.
 
     ``shards: 1`` (the default) builds the classic single-world
@@ -323,16 +364,21 @@ def build_backend(spec: ScenarioSpec) -> QueryBackend:
     a cluster and are ignored for one world; ``shards >= 2`` builds a
     :class:`~repro.cluster.service.ClusterService` with the spec's
     partitioner and worker count.  Either way the caller only sees the
-    :class:`QueryBackend` surface.
+    :class:`QueryBackend` surface.  ``admission`` overrides the spec's
+    configured policy (see :func:`build_service`).
     """
     if spec.shards <= 1:
-        return build_service(spec)
+        return build_service(spec, admission=admission)
     from ..cluster.service import ClusterService  # lazy: avoid cycle
 
     return ClusterService(
         _scenario_config(spec),
         shards=spec.shards,
-        admission=make_admission_policy(spec.admission),
+        admission=(
+            admission
+            if admission is not None
+            else make_admission_policy(spec.admission)
+        ),
         partitioner=spec.partitioner,
         workers=spec.workers,
         faults=spec.fault_plan(),

@@ -301,26 +301,39 @@ class SessionHandle:
             if self.cancelled_at is not None and deadline > self.cancelled_at:
                 return
             self.service.run_until(deadline)
-            records = self.session.gateway.deliveries_for(k)
-            on_time = [d for d in records if d.time <= deadline + 1e-9]
-            # Same selection rule as build_session_metrics: after a profile
-            # correction two collectors may both deliver on time — the user
-            # keeps the best (most contributors) on-time result, so the
-            # streamed value always matches the scored record.
-            if on_time:
-                chosen = max(on_time, key=lambda d: (len(d.contributors), d.time))
-            else:
-                chosen = records[0] if records else None
-            yield PeriodOutcome(
-                k=k,
-                deadline=deadline,
-                delivered=bool(records),
-                on_time=bool(on_time),
-                value=chosen.value if chosen is not None else None,
-                contributors=len(chosen.contributors) if chosen is not None else 0,
-                delivered_at=chosen.time if chosen is not None else None,
-                area_center=chosen.area_center if chosen is not None else None,
-            )
+            yield self.period_outcome(k)
+
+    def period_outcome(self, k: int) -> PeriodOutcome:
+        """Classify period ``k`` as observed at its deadline instant.
+
+        Pure read: the caller must already have advanced the world to (at
+        least) the period's deadline — :meth:`results` does, and so does
+        the serve daemon's pump, which harvests outcomes through exactly
+        this method so the wire stream always matches the scored record.
+        """
+        self.require_admitted()
+        assert self.spec is not None and self.session is not None
+        deadline = self.spec.deadline(k)
+        records = self.session.gateway.deliveries_for(k)
+        on_time = [d for d in records if d.time <= deadline + 1e-9]
+        # Same selection rule as build_session_metrics: after a profile
+        # correction two collectors may both deliver on time — the user
+        # keeps the best (most contributors) on-time result, so the
+        # streamed value always matches the scored record.
+        if on_time:
+            chosen = max(on_time, key=lambda d: (len(d.contributors), d.time))
+        else:
+            chosen = records[0] if records else None
+        return PeriodOutcome(
+            k=k,
+            deadline=deadline,
+            delivered=bool(records),
+            on_time=bool(on_time),
+            value=chosen.value if chosen is not None else None,
+            contributors=len(chosen.contributors) if chosen is not None else 0,
+            delivered_at=chosen.time if chosen is not None else None,
+            area_center=chosen.area_center if chosen is not None else None,
+        )
 
     def cancel(self) -> None:
         """Tear the session down mid-run (see :meth:`MobiQueryService.cancel`)."""
@@ -616,6 +629,12 @@ class MobiQueryService:
             or self._completed
         ):
             return
+        self._teardown_session(handle)
+        handle.status = STATUS_CANCELLED
+        handle.cancelled_at = self.sim.now
+
+    def _teardown_session(self, handle: SessionHandle) -> None:
+        """Release every piece of state keyed by one admitted session."""
         assert handle.spec is not None and handle.session is not None
         key = handle.spec.session_key
         handle.session.gateway.close()
@@ -625,8 +644,24 @@ class MobiQueryService:
         if self.np_protocol is not None:
             self.np_protocol.release_session(*key)
         self.network.channel.unregister_mobile(handle.session.proxy.node_id)
-        handle.status = STATUS_CANCELLED
-        handle.cancelled_at = self.sim.now
+
+    def release_session_state(self, handle: SessionHandle) -> None:
+        """Release a *completed* session's in-network state post-scoring.
+
+        A session that ran to the horizon keeps benign residue around —
+        cached tree states, delivered batches, its scheduler slot — which
+        is harmless in a batch run (the process exits) but accumulates in
+        an always-on daemon.  After ``close()`` the scores are cached on
+        the handles, so the serve drain calls this to apply the same
+        teardown ``cancel`` performs, driving the leak census to zero.
+        No-op for rejected, cancelled (already torn down) or still-running
+        sessions, and idempotent via the scheduler/protocol release paths.
+        """
+        if not handle.accepted or handle.status != STATUS_COMPLETED:
+            return
+        if handle._result is None:
+            self._score(handle)
+        self._teardown_session(handle)
 
     def run_until(self, t: float) -> None:
         """Advance the shared kernel to absolute time ``t`` (idempotent)."""

@@ -194,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated arrival processes (staggered, burst)",
     )
     sweep_p.add_argument(
+        "--admissions",
+        default=None,
+        help="comma-separated admission policies "
+        "(accept-all, per-area-cap, phase-assign)",
+    )
+    sweep_p.add_argument(
         "--duration", type=float, default=None, help="override the duration (s)"
     )
     sweep_p.add_argument(
@@ -215,6 +221,125 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="report name (default: the base scenario's name)",
     )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the always-on query daemon (HTTP/JSON wire API)",
+    )
+    serve_p.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario registry name the daemon's backend runs "
+        "(see `repro scenario --list`)",
+    )
+    serve_p.add_argument(
+        "--file", default=None, help="load the ScenarioSpec from a JSON file"
+    )
+    serve_p.add_argument(
+        "--duration", type=float, default=None, help="override the duration (s)"
+    )
+    serve_p.add_argument(
+        "--seed", type=int, default=None, help="override the seed"
+    )
+    serve_p.add_argument(
+        "--shards", type=int, default=None, help="override the shard count"
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=None, help="override the worker count"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8600)
+    serve_p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to let live sessions finish on SIGTERM before "
+        "force-cancelling (default 30)",
+    )
+    serve_p.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        help="simulated seconds per wall second (default 8; 0 = free-run)",
+    )
+    serve_p.add_argument(
+        "--ring-capacity",
+        type=int,
+        default=256,
+        help="per-session result buffer size (default 256)",
+    )
+    serve_p.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for SERVE_<name>.json (default current directory)",
+    )
+    serve_p.add_argument(
+        "--name",
+        default=None,
+        help="log/report name (default: the scenario's name)",
+    )
+
+    slam_p = sub.add_parser(
+        "slam",
+        help="load-generate against a live `repro serve` daemon",
+    )
+    slam_p.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario whose arrival process to replay over the wire",
+    )
+    slam_p.add_argument(
+        "--file", default=None, help="load the ScenarioSpec from a JSON file"
+    )
+    slam_p.add_argument(
+        "--sim-duration",
+        type=float,
+        default=None,
+        help="the daemon's scenario duration override — must match what "
+        "`repro serve` was started with, so request starts clamp the same",
+    )
+    slam_p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8600",
+        help="daemon base URL (default http://127.0.0.1:8600)",
+    )
+    slam_p.add_argument(
+        "--rate", type=float, default=8.0, help="submissions per second"
+    )
+    slam_p.add_argument(
+        "--clients", type=int, default=2, help="concurrent client identities"
+    )
+    slam_p.add_argument(
+        "--duration",
+        type=float,
+        default=120.0,
+        help="wall-clock budget in seconds (default 120)",
+    )
+    slam_p.add_argument(
+        "--wait",
+        type=float,
+        default=0.5,
+        help="long-poll wait per results call (default 0.5s)",
+    )
+    slam_p.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for SLAM_<name>.json (default current directory)",
+    )
+    slam_p.add_argument(
+        "--name",
+        default=None,
+        help="report name (default: the scenario's name)",
+    )
+
+    replay_p = sub.add_parser(
+        "replay",
+        help="re-execute a SERVE_<name>.json submission log in-process and "
+        "verify it reproduces the daemon's result fingerprints",
+    )
+    replay_p.add_argument("log", help="path to a SERVE_<name>.json log")
 
     fig_p = sub.add_parser("fig", help="regenerate a paper figure")
     fig_p.add_argument("number", type=int, choices=[4, 5, 6, 7, 8])
@@ -575,6 +700,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             axes_data["arrivals"] = tuple(
                 tok.strip() for tok in args.arrivals.split(",") if tok.strip()
             )
+        if args.admissions:
+            axes_data["admissions"] = tuple(
+                tok.strip() for tok in args.admissions.split(",") if tok.strip()
+            )
         axes = SweepAxes.from_dict(axes_data) if axes_data else SweepAxes()
         print(
             f"sweep base={base.name} cells={axes.cell_count()} "
@@ -596,7 +725,152 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"repro sweep: INVARIANT VIOLATED: {violation}", file=sys.stderr)
         return 3
     print("metamorphic invariants hold: fault-monotonicity, "
-          "shards1-identity, churn-no-leak")
+          "shards1-identity, churn-no-leak, admission-no-harm")
+    return 0
+
+
+def _load_spec_for_daemon(args: argparse.Namespace, command: str):
+    """Resolve the scenario a serve/slam command names, with overrides."""
+    from .api.scenarios import get_scenario, load_scenario_file
+
+    if args.file:
+        spec = load_scenario_file(args.file)
+    elif args.scenario:
+        spec = get_scenario(args.scenario)
+    else:
+        raise ValueError(
+            "give a scenario name or --file (see `repro scenario --list`)"
+        )
+    overrides = {}
+    duration = getattr(args, "duration", None)
+    if command == "slam":
+        duration = args.sim_duration
+    if duration is not None:
+        overrides["duration_s"] = duration
+    for key, attr in (("seed", "seed"), ("shards", "shards"),
+                      ("workers", "workers")):
+        value = getattr(args, attr, None)
+        if value is not None:
+            overrides[key] = value
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.daemon import DEFAULT_TIME_SCALE, run_serve
+
+    try:
+        spec = _load_spec_for_daemon(args, "serve")
+        if args.drain_timeout < 0:
+            raise ValueError(
+                f"--drain-timeout must be >= 0, got {args.drain_timeout}"
+            )
+        time_scale = (
+            args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
+        )
+        return run_serve(
+            spec,
+            host=args.host,
+            port=args.port,
+            drain_timeout_s=args.drain_timeout,
+            time_scale=time_scale,
+            ring_capacity=args.ring_capacity,
+            out_dir=args.out_dir,
+            name=args.name,
+        )
+    except (KeyError, OSError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro serve: error: {message}", file=sys.stderr)
+        return 2
+
+
+def _cmd_slam(args: argparse.Namespace) -> int:
+    from .serve.errors import EXIT_FAILURE, WireError
+    from .serve.slam import (
+        SlamConfig,
+        markdown_table,
+        run_slam,
+        write_slam_outputs,
+    )
+
+    try:
+        spec = _load_spec_for_daemon(args, "slam")
+        config = SlamConfig(
+            url=args.url,
+            rate=args.rate,
+            clients=args.clients,
+            duration_s=args.duration,
+            wait_s=args.wait,
+        )
+    except (KeyError, OSError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro slam: error: {message}", file=sys.stderr)
+        return 2
+    try:
+        report = run_slam(spec, config)
+    except WireError as exc:
+        print(f"repro slam: error: {exc.code}: {exc.message}", file=sys.stderr)
+        return exc.exit_code
+    print(markdown_table(report))
+    path = write_slam_outputs(report, args.out_dir, name=args.name)
+    print(f"\nslam report written to {path}")
+    counts = report["counts"]
+    if counts["errors"]:
+        for entry in report["errors"][:10]:
+            print(f"repro slam: error entry: {entry}", file=sys.stderr)
+        return EXIT_FAILURE
+    if counts["admitted"] == 0:
+        print(
+            "repro slam: error: the daemon admitted no sessions",
+            file=sys.stderr,
+        )
+        return EXIT_FAILURE
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.log import verify_submission_log
+
+    try:
+        with open(args.log, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if not isinstance(data, dict):
+            raise ValueError(f"{args.log} must hold a JSON object")
+    except (OSError, ValueError) as exc:
+        print(f"repro replay: error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        ok, recorded, replayed = verify_submission_log(data)
+    except (KeyError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro replay: error: {message}", file=sys.stderr)
+        return 2
+    if recorded is None:
+        print(
+            f"repro replay: error: {args.log} carries no fingerprints to "
+            "verify against",
+            file=sys.stderr,
+        )
+        return 2
+    ops = data.get("ops", [])
+    submits = sum(1 for op in ops if op.get("op") == "submit")
+    if not ok:
+        print(
+            "repro replay: REPLAY MISMATCH: the in-process replay diverged "
+            "from the live run",
+            file=sys.stderr,
+        )
+        print(f"  recorded: {recorded}", file=sys.stderr)
+        print(f"  replayed: {replayed}", file=sys.stderr)
+        return 3
+    print(
+        f"replay ok: {submits} submissions, {len(ops) - submits} cancels — "
+        f"{len(replayed['sessions'])} scored sessions and frame counters "
+        f"(sent={replayed['frames_sent']}, "
+        f"collided={replayed['frames_collided']}, "
+        f"delivered={replayed['frames_delivered']}) reproduced bit-identically"
+    )
     return 0
 
 
@@ -863,6 +1137,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scenario(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "slam":
+        return _cmd_slam(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "fig":
         return _cmd_fig(args)
     if args.command == "bench":

@@ -403,13 +403,16 @@ class ClusterService:
             return False
         return True
 
-    def _finalize_parallel(self) -> bool:
-        """Try the worker-process batch path; True when it completed."""
-        self.parallel_used = False
-        if not self._parallel_eligible():
-            return False
+    def export_shard_plans(self) -> List[ShardPlan]:
+        """The recorded submission/decision logs as replayable plans.
+
+        One :class:`ShardPlan` per shard, built from the same logs the
+        ``workers=N`` batch path replays — also the serve daemon's raw
+        material for its submission log (the wire layer's determinism
+        proof rebuilds shard worlds from exactly these triples).
+        """
         plan_faults = None if self.faults.empty else self.faults
-        plans = [
+        return [
             ShardPlan(
                 shard=index,
                 config=self.shard_configs[index],
@@ -419,6 +422,13 @@ class ClusterService:
             )
             for index in range(len(self.services))
         ]
+
+    def _finalize_parallel(self) -> bool:
+        """Try the worker-process batch path; True when it completed."""
+        self.parallel_used = False
+        if not self._parallel_eligible():
+            return False
+        plans = self.export_shard_plans()
         import os
 
         workers = min(self.workers, len(plans), os.cpu_count() or 1)

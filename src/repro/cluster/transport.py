@@ -95,6 +95,52 @@ class ReplayAdmissionPolicy(AdmissionPolicy):
         return f"replay({len(self._decisions)} decisions)"
 
 
+class RecordingAdmissionPolicy(AdmissionPolicy):
+    """Wrap a policy and remember every verdict it hands out, in order.
+
+    The serve daemon's determinism lever: each accepted-or-rejected
+    submission's decision is appended to :attr:`decisions`, so the daemon
+    can write a submission log whose replay (via
+    :class:`ReplayAdmissionPolicy`) reproduces the live run bit-identically
+    — including the RNG draws a *rejected* submission consumed.
+    """
+
+    name = "recording"
+
+    def __init__(self, inner: AdmissionPolicy) -> None:
+        self.inner = inner
+        self.decisions: List[AdmissionDecision] = []
+
+    def decide(self, spec, path, service) -> AdmissionDecision:
+        decision = self.inner.decide(spec, path, service)
+        self.decisions.append(decision)
+        return decision
+
+    def describe(self) -> str:
+        return f"recording({self.inner.describe()})"
+
+
+def decision_to_dict(decision: AdmissionDecision) -> dict:
+    """JSON-able form of one admission decision (submission-log entry)."""
+    return {
+        "admitted": decision.admitted,
+        "reason": decision.reason,
+        "start_offset_s": decision.start_offset_s,
+    }
+
+
+def decision_from_dict(data: dict) -> AdmissionDecision:
+    """Rebuild a decision from :func:`decision_to_dict` output (strict)."""
+    extra = set(data) - {"admitted", "reason", "start_offset_s"}
+    if extra:
+        raise ValueError(f"unknown decision keys: {sorted(extra)}")
+    return AdmissionDecision(
+        admitted=bool(data["admitted"]),
+        reason=str(data.get("reason", "")),
+        start_offset_s=float(data.get("start_offset_s", 0.0)),
+    )
+
+
 @dataclass(frozen=True)
 class ShardPlan:
     """Everything a worker needs to rebuild and run one shard world."""
@@ -171,9 +217,12 @@ def run_shards_parallel(
 
 
 __all__ = [
+    "RecordingAdmissionPolicy",
     "ReplayAdmissionPolicy",
     "ShardOutcome",
     "ShardPlan",
+    "decision_from_dict",
+    "decision_to_dict",
     "parallel_map",
     "run_shard_plan",
     "run_shards_parallel",

@@ -43,7 +43,17 @@ ARRIVAL_STAGGERED = "staggered"
 ARRIVAL_BURST = "burst"
 _ARRIVALS = (ARRIVAL_STAGGERED, ARRIVAL_BURST)
 
-_AXES_KEYS = frozenset({"users", "shards", "intensities", "arrivals"})
+#: the admission-policy axis values (names -> scenario admission configs)
+ADMISSION_ACCEPT_ALL = "accept-all"
+_ADMISSION_CONFIGS: Dict[str, Dict] = {
+    ADMISSION_ACCEPT_ALL: {},
+    "per-area-cap": {"policy": "per-area-cap", "max_overlapping": 3},
+    "phase-assign": {"policy": "phase-assign", "slots": 4},
+}
+
+_AXES_KEYS = frozenset(
+    {"users", "shards", "intensities", "arrivals", "admissions"}
+)
 
 
 @dataclass(frozen=True)
@@ -54,9 +64,11 @@ class SweepAxes:
     shards: Tuple[int, ...] = (1, 2)
     intensities: Tuple[float, ...] = (0.0, 0.5, 1.0)
     arrivals: Tuple[str, ...] = (ARRIVAL_STAGGERED, ARRIVAL_BURST)
+    admissions: Tuple[str, ...] = (ADMISSION_ACCEPT_ALL,)
 
     def __post_init__(self) -> None:
-        for axis in ("users", "shards", "intensities", "arrivals"):
+        for axis in ("users", "shards", "intensities", "arrivals",
+                     "admissions"):
             if not getattr(self, axis):
                 raise ValueError(f"sweep axis {axis!r} must not be empty")
         for n in self.users:
@@ -76,6 +88,12 @@ class SweepAxes:
                     f"unknown sweep arrival {arrival!r}; expected one of "
                     f"{list(_ARRIVALS)}"
                 )
+        for admission in self.admissions:
+            if admission not in _ADMISSION_CONFIGS:
+                raise ValueError(
+                    f"unknown sweep admission {admission!r}; expected one of "
+                    f"{sorted(_ADMISSION_CONFIGS)}"
+                )
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepAxes":
@@ -89,6 +107,8 @@ class SweepAxes:
             payload["intensities"] = tuple(float(v) for v in data["intensities"])
         if "arrivals" in data:
             payload["arrivals"] = tuple(str(v) for v in data["arrivals"])
+        if "admissions" in data:
+            payload["admissions"] = tuple(str(v) for v in data["admissions"])
         return cls(**payload)
 
     def cell_count(self) -> int:
@@ -97,6 +117,7 @@ class SweepAxes:
             * len(self.shards)
             * len(self.intensities)
             * len(self.arrivals)
+            * len(self.admissions)
         )
 
 
@@ -160,6 +181,7 @@ class SweepCell:
     intensity: float
     arrival: str
     payload: Dict
+    admission: str = ADMISSION_ACCEPT_ALL
 
 
 def build_cells(base: ScenarioSpec, axes: SweepAxes) -> List[SweepCell]:
@@ -181,39 +203,80 @@ def build_cells(base: ScenarioSpec, axes: SweepAxes) -> List[SweepCell]:
         for shards in axes.shards:
             for intensity in axes.intensities:
                 for arrival in axes.arrivals:
-                    template = dict(prototype)
-                    template["count"] = users
-                    template["spacing_s"] = (
-                        0.0 if arrival == ARRIVAL_BURST else base_spacing
-                    )
-                    payload = base.to_dict()
-                    payload["name"] = (
-                        f"{base.name}.u{users}.s{shards}"
-                        f".f{intensity:g}.{arrival}"
-                    )
-                    payload["requests"] = [template]
-                    payload["shards"] = shards
-                    # Cells parallelise across the pool, not within it.
-                    payload["workers"] = 0
-                    payload["faults"] = _merge_fault_dicts(
-                        dict(base.faults), plan_for_intensity(base, intensity)
-                    )
-                    ScenarioSpec.from_dict(payload)  # fail at build time
-                    cells.append(
-                        SweepCell(
-                            users=users,
-                            shards=shards,
-                            intensity=intensity,
-                            arrival=arrival,
-                            payload=payload,
+                    for admission in axes.admissions:
+                        template = dict(prototype)
+                        template["count"] = users
+                        template["spacing_s"] = (
+                            0.0 if arrival == ARRIVAL_BURST else base_spacing
                         )
-                    )
+                        payload = base.to_dict()
+                        payload["name"] = (
+                            f"{base.name}.u{users}.s{shards}"
+                            f".f{intensity:g}.{arrival}.{admission}"
+                        )
+                        payload["requests"] = [template]
+                        payload["shards"] = shards
+                        # Cells parallelise across the pool, not within it.
+                        payload["workers"] = 0
+                        payload["admission"] = dict(
+                            _ADMISSION_CONFIGS[admission]
+                        )
+                        payload["faults"] = _merge_fault_dicts(
+                            dict(base.faults),
+                            plan_for_intensity(base, intensity),
+                        )
+                        ScenarioSpec.from_dict(payload)  # fail at build time
+                        cells.append(
+                            SweepCell(
+                                users=users,
+                                shards=shards,
+                                intensity=intensity,
+                                arrival=arrival,
+                                payload=payload,
+                                admission=admission,
+                            )
+                        )
     return cells
 
 
 # ----------------------------------------------------------------------
 # The churn-leak probe (shared with tests/test_integration_robustness.py)
 # ----------------------------------------------------------------------
+def leak_census(service) -> Dict[str, int]:
+    """Count every kind of residual per-session state in one world.
+
+    The service must already be past its horizon (or have every session
+    torn down); the census advances another two beacon periods to measure
+    ``pending_growth`` — the kernel-leak proxy: with every session gone,
+    the pending-event count may only hold the steady PSM floor, so more
+    running must not grow it.  All-zero means teardown is airtight.
+    Shared by :func:`churn_leak_probe` and the serve daemon's drain check.
+    """
+    beacon = service.config.network.sleep_period_s
+    pending_before = service.sim.pending_count
+    service.advance(service.sim.now + 2.0 * beacon)
+    pending_after = service.sim.pending_count
+    protocol = service.protocol
+    scheduler = service.workload.scheduler
+    future_overrides = 0
+    now = service.sim.now
+    for node in service.network.sleeper_nodes:
+        sched = node.sleep_scheduler
+        if sched is None:
+            continue
+        future_overrides += sum(1 for _s, end in sched._overrides if end > now)
+    return {
+        "tree_states": protocol.tree_state_count() if protocol else 0,
+        "collectors": len(protocol._collectors) if protocol else 0,
+        "pending_batches": len(protocol._pending_batches) if protocol else 0,
+        "live_floods": service.flood.live_flood_count(),
+        "scheduler_slots": len(scheduler._gateways),
+        "pending_starts": len(scheduler._start_events),
+        "future_psm_overrides": future_overrides,
+        "pending_growth": max(0, pending_after - pending_before),
+    }
+
+
 def churn_leak_probe(spec: ScenarioSpec) -> Dict[str, int]:
     """Cancel every session mid-run under the spec's faults; count residue.
 
@@ -242,29 +305,7 @@ def churn_leak_probe(spec: ScenarioSpec) -> Dict[str, int]:
     beacon = service.config.network.sleep_period_s
     settle = horizon + RUN_TAIL_S + 2.0 * beacon
     service.advance(settle)
-    pending_before = service.sim.pending_count
-    service.advance(settle + 2.0 * beacon)
-    pending_after = service.sim.pending_count
-    protocol = service.protocol
-    scheduler = service.workload.scheduler
-    future_overrides = 0
-    now = service.sim.now
-    for node in service.network.sleeper_nodes:
-        sched = node.sleep_scheduler
-        if sched is None:
-            continue
-        future_overrides += sum(1 for _s, end in sched._overrides if end > now)
-    leaks = {
-        "tree_states": protocol.tree_state_count() if protocol else 0,
-        "collectors": len(protocol._collectors) if protocol else 0,
-        "pending_batches": len(protocol._pending_batches) if protocol else 0,
-        "live_floods": service.flood.live_flood_count(),
-        "scheduler_slots": len(scheduler._gateways),
-        "pending_starts": len(scheduler._start_events),
-        "future_psm_overrides": future_overrides,
-        "pending_growth": max(0, pending_after - pending_before),
-    }
-    return leaks
+    return leak_census(service)
 
 
 # ----------------------------------------------------------------------
@@ -295,7 +336,9 @@ def run_sweep_cell(cell: SweepCell) -> Dict[str, Any]:
         "shards": cell.shards,
         "intensity": cell.intensity,
         "arrival": cell.arrival,
+        "admission": cell.admission,
         "admitted": result.admitted,
+        "rejected": result.rejected,
         "mean_success": result.mean_success,
         "min_success": result.min_success,
         "degraded_periods": sum(s.degraded_periods for s in sessions),
@@ -354,6 +397,7 @@ class SweepResult:
                 "shards": list(self.axes.shards),
                 "intensities": list(self.axes.intensities),
                 "arrivals": list(self.axes.arrivals),
+                "admissions": list(self.axes.admissions),
             },
             "rows": self.rows,
             "violations": self.violations,
@@ -363,9 +407,9 @@ class SweepResult:
     def markdown_table(self) -> str:
         """The grid as a GitHub-flavored markdown table."""
         header = (
-            "| users | shards | arrival | intensity | mean success | "
-            "min success | degraded | identity | leaks |\n"
-            "|---|---|---|---|---|---|---|---|---|"
+            "| users | shards | arrival | admission | intensity | rejected | "
+            "mean success | min success | degraded | identity | leaks |\n"
+            "|---|---|---|---|---|---|---|---|---|---|---|"
         )
         lines = [header]
         for row in self.rows:
@@ -375,9 +419,12 @@ class SweepResult:
             leaks = (
                 str(row["leak_total"]) if "leak_total" in row else "-"
             )
+            admission = row.get("admission", ADMISSION_ACCEPT_ALL)
             lines.append(
                 f"| {row['users']} | {row['shards']} | {row['arrival']} "
-                f"| {row['intensity']:g} | {row['mean_success']:.3f} "
+                f"| {admission} "
+                f"| {row['intensity']:g} | {row.get('rejected', 0)} "
+                f"| {row['mean_success']:.3f} "
                 f"| {row['min_success']:.3f} | {row['degraded_periods']} "
                 f"| {identity} | {leaks} |"
             )
@@ -385,11 +432,16 @@ class SweepResult:
 
 
 def check_invariants(rows: List[Dict[str, Any]]) -> List[str]:
-    """Evaluate the three metamorphic invariants over a finished grid."""
+    """Evaluate the metamorphic invariants over a finished grid."""
     violations: List[str] = []
     groups: Dict[Tuple, List[Dict]] = {}
     for row in rows:
-        key = (row["users"], row["shards"], row["arrival"])
+        key = (
+            row["users"],
+            row["shards"],
+            row["arrival"],
+            row.get("admission", ADMISSION_ACCEPT_ALL),
+        )
         groups.setdefault(key, []).append(row)
     for key, group in sorted(groups.items()):
         group.sort(key=lambda r: r["intensity"])
@@ -401,11 +453,11 @@ def check_invariants(rows: List[Dict[str, Any]]) -> List[str]:
                 and success > best_so_far + MONOTONICITY_TOLERANCE
             ):
                 violations.append(
-                    "fault-monotonicity: users=%d shards=%d arrival=%s — "
-                    "mean success %.4f at intensity %g exceeds %.4f at a "
-                    "lower intensity"
-                    % (key[0], key[1], key[2], success, row["intensity"],
-                       best_so_far)
+                    "fault-monotonicity: users=%d shards=%d arrival=%s "
+                    "admission=%s — mean success %.4f at intensity %g "
+                    "exceeds %.4f at a lower intensity"
+                    % (key[0], key[1], key[2], key[3], success,
+                       row["intensity"], best_so_far)
                 )
             best_so_far = (
                 success if best_so_far is None else min(best_so_far, success)
@@ -425,6 +477,33 @@ def check_invariants(rows: List[Dict[str, Any]]) -> List[str]:
                 "churn-no-leak: users=%d intensity=%g arrival=%s — "
                 "residual state after cancel/crash churn: %s"
                 % (row["users"], row["intensity"], row["arrival"], leaked)
+            )
+    # admission-no-harm: turning sessions away must never *reduce* the
+    # admitted users' mean success vs the accept-all baseline at the same
+    # grid point — rejection is allowed to cost coverage, not quality.
+    baselines: Dict[Tuple, float] = {}
+    for row in rows:
+        if row.get("admission", ADMISSION_ACCEPT_ALL) == ADMISSION_ACCEPT_ALL:
+            point = (row["users"], row["shards"], row["intensity"],
+                     row["arrival"])
+            baselines[point] = row["mean_success"]
+    for row in rows:
+        admission = row.get("admission", ADMISSION_ACCEPT_ALL)
+        if admission == ADMISSION_ACCEPT_ALL or not row.get("rejected"):
+            continue
+        point = (row["users"], row["shards"], row["intensity"],
+                 row["arrival"])
+        baseline = baselines.get(point)
+        if baseline is None:
+            continue
+        if row["mean_success"] < baseline - MONOTONICITY_TOLERANCE:
+            violations.append(
+                "admission-no-harm: users=%d shards=%d intensity=%g "
+                "arrival=%s — admission=%s rejected %d sessions yet mean "
+                "success %.4f fell below the accept-all baseline %.4f"
+                % (row["users"], row["shards"], row["intensity"],
+                   row["arrival"], admission, row["rejected"],
+                   row["mean_success"], baseline)
             )
     return violations
 
@@ -468,6 +547,7 @@ def write_sweep_outputs(result: SweepResult, out_dir: str = ".") -> str:
 
 
 __all__ = [
+    "ADMISSION_ACCEPT_ALL",
     "ARRIVAL_BURST",
     "ARRIVAL_STAGGERED",
     "MONOTONICITY_TOLERANCE",
@@ -477,6 +557,7 @@ __all__ = [
     "build_cells",
     "check_invariants",
     "churn_leak_probe",
+    "leak_census",
     "plan_for_intensity",
     "run_sweep",
     "run_sweep_cell",

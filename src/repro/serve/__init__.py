@@ -1,0 +1,61 @@
+"""The serving layer: daemon, wire contract, client, load generator.
+
+``repro serve`` puts any :class:`~repro.api.backend.QueryBackend` behind
+an HTTP/JSON session API with multi-tenant ownership, bounded result
+rings, graceful SIGTERM drain, and a bit-identically replayable
+submission log; ``repro slam`` is the load generator that proves it.
+"""
+
+from .client import ServeClient
+from .daemon import (
+    DEFAULT_SLICE_S,
+    DEFAULT_TIME_SCALE,
+    MAX_WAIT_S,
+    TOKEN_HEADER,
+    ServeApp,
+    ServeHandler,
+    make_server,
+    run_serve,
+)
+from .errors import ERROR_CODES, EXIT_FAILURE, EXIT_USAGE, WireError, map_exception
+from .log import (
+    LOG_FORMAT,
+    SubmissionLog,
+    replay_submission_log,
+    result_fingerprints,
+    verify_submission_log,
+)
+from .ring import ResultRing
+from .slam import SlamConfig, markdown_table, run_slam, write_slam_outputs
+from .wire import outcome_to_wire, percentile, request_from_wire, summarize
+
+__all__ = [
+    "DEFAULT_SLICE_S",
+    "DEFAULT_TIME_SCALE",
+    "ERROR_CODES",
+    "EXIT_FAILURE",
+    "EXIT_USAGE",
+    "LOG_FORMAT",
+    "MAX_WAIT_S",
+    "ResultRing",
+    "ServeApp",
+    "ServeClient",
+    "ServeHandler",
+    "SlamConfig",
+    "SubmissionLog",
+    "TOKEN_HEADER",
+    "WireError",
+    "make_server",
+    "map_exception",
+    "markdown_table",
+    "outcome_to_wire",
+    "percentile",
+    "replay_submission_log",
+    "request_from_wire",
+    "result_fingerprints",
+    "run_serve",
+    "run_slam",
+    "summarize",
+    "verify_submission_log",
+    "write_slam_outputs",
+]

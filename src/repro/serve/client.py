@@ -1,0 +1,89 @@
+"""A minimal stdlib HTTP client for the serve daemon's wire API.
+
+Every response — success or typed error — comes back as parsed JSON;
+transport-level failures (daemon down, timeout) surface as the typed
+``daemon-unreachable`` :class:`~repro.serve.errors.WireError`, so CLI
+callers can map any failure to the contract's exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+from .daemon import TOKEN_HEADER
+from .errors import WireError
+
+
+class ServeClient:
+    """One client identity (token) talking to one daemon."""
+
+    def __init__(
+        self, base_url: str, token: str, timeout_s: float = 10.0
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout_s = timeout_s
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Tuple[int, Dict]:
+        """One round trip; returns ``(http_status, parsed_json)``."""
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={
+                TOKEN_HEADER: self.token,
+                "Content-Type": "application/json",
+            },
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # Typed errors ride in the body; keep them as data, not raises
+            # — the caller decides what a 409 admission verdict means.
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {
+                    "error": {
+                        "code": "internal",
+                        "message": f"non-JSON error body (HTTP {exc.code})",
+                    }
+                }
+            return exc.code, payload
+        except (urllib.error.URLError, OSError) as exc:
+            raise WireError(
+                "daemon-unreachable",
+                f"no daemon at {self.base_url}: {exc}",
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Endpoint helpers
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self.request("GET", "/healthz")[1]
+
+    def stats(self) -> Dict:
+        return self.request("GET", "/stats")[1]
+
+    def submit(self, payload: Dict) -> Tuple[int, Dict]:
+        return self.request("POST", "/sessions", body=payload)
+
+    def results(
+        self, session: int, after: int = 0, wait_s: float = 0.0
+    ) -> Dict:
+        return self.request(
+            "GET", f"/sessions/{session}/results?after={after}&wait={wait_s:g}"
+        )[1]
+
+    def cancel(self, session: int) -> Dict:
+        return self.request("DELETE", f"/sessions/{session}")[1]
+
+
+__all__ = ["ServeClient"]

@@ -1,0 +1,751 @@
+"""``repro serve`` — the always-on query daemon.
+
+One :class:`ServeApp` owns one :class:`~repro.api.backend.QueryBackend`
+(single world or regional cluster, whatever the scenario asks for) and
+exposes the full session lifecycle over HTTP/JSON:
+
+* ``POST /sessions`` — submit; returns the session id + admission verdict
+* ``GET /sessions/{id}/results?after=K&wait=S`` — long-poll outcomes
+* ``DELETE /sessions/{id}`` — cancel
+* ``GET /stats`` — live backend counters + server latency attribution
+* ``GET /healthz`` — liveness
+
+Architecture: **one pump thread owns the simulated clock**.  All backend
+mutations — submits, cancels, clock advances — serialize through one
+lock, so the kernel never sees concurrent access; HTTP threads
+(``ThreadingHTTPServer``) only block on that lock for bounded slices
+(``slice_s`` simulated seconds per advance).  The pump advances the sim
+toward the earliest unharvested period deadline, paced against wall
+time by ``time_scale`` (simulated seconds per wall second; 0 = free-run),
+and harvests each period outcome into the owning session's bounded
+:class:`~repro.serve.ring.ResultRing` the moment its deadline passes.
+
+Tenancy: every request carries an ``X-Repro-Token`` header; a session
+belongs to the token that created it, and any access with another token
+is a typed ``foreign-session`` error — existence is admitted (404 vs 403
+distinguishes unknown from foreign) but nothing else leaks.
+
+Determinism: every submit (accepted *and* rejected) and cancel is
+recorded in the :class:`~repro.serve.log.SubmissionLog`; replaying that
+log in-process reproduces the daemon's sessions and physics counters bit
+for bit.  ``SIGTERM`` drains: new submits get 503, live sessions run to
+completion (bounded by ``--drain-timeout``, stragglers are recorded
+force-cancels), the backend closes into a final
+:class:`~repro.workload.engine.WorkloadResult`, and the log + summary
+land in ``SERVE_<name>.json``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import signal
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from ..api.scenarios import ScenarioSpec, build_backend
+from ..api.service import STATUS_ADMITTED, STATUS_COMPLETED, SessionHandle
+from ..cluster.transport import RecordingAdmissionPolicy
+from ..faults.sweep import leak_census
+from .errors import WireError, map_exception
+from .log import SubmissionLog, result_fingerprints
+from .ring import ResultRing
+from .wire import outcome_to_wire, request_from_wire, summarize
+
+#: how far one pump advance may run, in simulated seconds
+DEFAULT_SLICE_S = 0.5
+#: simulated seconds per wall second (0 disables pacing — free-run)
+DEFAULT_TIME_SCALE = 8.0
+#: hard cap on one long-poll wait
+MAX_WAIT_S = 30.0
+#: the tenancy header
+TOKEN_HEADER = "X-Repro-Token"
+
+
+class _EndpointTimer:
+    """Per-endpoint request-latency sample (bounded memory)."""
+
+    def __init__(self, maxlen: int = 2048) -> None:
+        self.count = 0
+        self.samples_ms: deque = deque(maxlen=maxlen)
+
+    def note(self, ms: float) -> None:
+        self.count += 1
+        self.samples_ms.append(ms)
+
+    def snapshot(self) -> Dict:
+        summary = summarize(list(self.samples_ms)) or {}
+        summary["count"] = self.count
+        return summary
+
+
+class _Session:
+    """Server-side session state: owner token, handle, result ring."""
+
+    def __init__(
+        self, sid: int, token: str, handle: SessionHandle, ring: ResultRing
+    ) -> None:
+        self.sid = sid
+        self.token = token
+        self.handle = handle
+        self.ring = ring
+        #: next period the pump will harvest (1-based)
+        self.next_k = 1
+        #: no more outcomes will ever arrive (completed/cancelled/rejected)
+        self.done = False
+
+
+class ServeApp:
+    """The daemon's brain, independent of HTTP: sessions, pump, drain.
+
+    Tests drive this object directly; :class:`ServeHandler` is a thin
+    JSON shim over it.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        ring_capacity: int = 256,
+        time_scale: float = DEFAULT_TIME_SCALE,
+        slice_s: float = DEFAULT_SLICE_S,
+        drain_timeout_s: float = 30.0,
+    ) -> None:
+        if time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        if slice_s <= 0:
+            raise ValueError(f"slice_s must be > 0, got {slice_s}")
+        self.spec = spec
+        self.ring_capacity = ring_capacity
+        self.time_scale = time_scale
+        self.slice_s = slice_s
+        self.drain_timeout_s = drain_timeout_s
+        self.backend = build_backend(spec)
+        # Interpose the decision recorder: the submission log needs every
+        # admission verdict, in order, to replay the run bit-identically.
+        self._recorder = RecordingAdmissionPolicy(self.backend.admission)
+        self.backend.admission = self._recorder
+        self.log = SubmissionLog(spec)
+        self.sessions: Dict[int, _Session] = {}
+        self._sids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._work = threading.Condition(self._lock)
+        self._stop = threading.Event()
+        self._pump: Optional[threading.Thread] = None
+        self._draining = False
+        self._finished = False
+        self.summary: Optional[Dict] = None
+        self._started_wall = time.monotonic()
+        # pacing anchor: (wall, sim) of the last idle->busy transition
+        self._anchor: Optional[tuple] = None
+        self._slices = 0
+        self._advance_wall_s = 0.0
+        self._timers: Dict[str, _EndpointTimer] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def _services(self) -> List:
+        """The underlying world service(s) — one, or every shard."""
+        shard_services = getattr(self.backend, "services", None)
+        return list(shard_services) if shard_services is not None else [
+            self.backend
+        ]
+
+    def _now(self) -> float:
+        """The backend's simulated clock (min over shards in lockstep)."""
+        return min(service.sim.now for service in self._services())
+
+    def note_latency(self, endpoint: str, ms: float) -> None:
+        with self._lock:
+            self._timers.setdefault(endpoint, _EndpointTimer()).note(ms)
+
+    # ------------------------------------------------------------------
+    # The pump thread: the only thing that advances the clock
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the pump thread (idempotent)."""
+        if self._pump is None:
+            self._pump = threading.Thread(
+                target=self._pump_loop, name="serve-pump", daemon=True
+            )
+            self._pump.start()
+
+    def _live_sessions(self) -> List[_Session]:
+        return [s for s in self.sessions.values() if not s.done]
+
+    def _next_deadline(self) -> Optional[float]:
+        """The earliest unharvested period deadline, over live sessions."""
+        deadlines = []
+        for sess in self._live_sessions():
+            spec = sess.handle.spec
+            assert spec is not None
+            if sess.next_k <= spec.num_periods:
+                deadlines.append(spec.deadline(sess.next_k))
+        return min(deadlines) if deadlines else None
+
+    def _harvest(self) -> None:
+        """Move every due period outcome into its session's ring."""
+        now = self._now()
+        for sess in self._live_sessions():
+            handle = sess.handle
+            spec = handle.spec
+            assert spec is not None
+            while sess.next_k <= spec.num_periods:
+                deadline = spec.deadline(sess.next_k)
+                if (
+                    handle.cancelled_at is not None
+                    and deadline > handle.cancelled_at
+                ):
+                    sess.done = True
+                    sess.ring.close()
+                    break
+                if deadline > now + 1e-9:
+                    break
+                sess.ring.append(
+                    outcome_to_wire(handle.period_outcome(sess.next_k))
+                )
+                sess.next_k += 1
+            if not sess.done and sess.next_k > spec.num_periods:
+                sess.done = True
+                sess.ring.close()
+        self._work.notify_all()
+
+    def _pump_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._work:
+                self._harvest()
+                deadline = self._next_deadline()
+                if deadline is None:
+                    # Idle: drop the pacing anchor so waiting for clients
+                    # doesn't bank "allowed" sim time to sprint through.
+                    self._anchor = None
+                    self._work.wait(0.05)
+                    continue
+                now = self._now()
+                target = min(deadline, now + self.slice_s)
+                if self.time_scale > 0 and not self._draining:
+                    wall = time.monotonic()
+                    if self._anchor is None:
+                        self._anchor = (wall, now)
+                    allowed = (
+                        self._anchor[1]
+                        + (wall - self._anchor[0]) * self.time_scale
+                    )
+                    if target > allowed:
+                        self._work.wait(
+                            min((target - allowed) / self.time_scale, 0.25)
+                        )
+                        continue
+                t0 = time.perf_counter()
+                self.backend.advance(target)
+                self._advance_wall_s += time.perf_counter() - t0
+                self._slices += 1
+                self._harvest()
+
+    # ------------------------------------------------------------------
+    # The wire operations (HTTP handler + tests call these)
+    # ------------------------------------------------------------------
+    def submit(self, token: str, payload: object) -> Dict:
+        """POST /sessions: validate, admit, record; never corrupts replay.
+
+        Validation happens *before* the backend sees the request —
+        ``backend.submit`` consumes mobility-RNG draws while synthesising
+        the user's walk, so a submission that would raise inside the
+        backend (horizon passed) must be refused up front to keep the
+        submission log replayable.  Rejections by the admission policy
+        *are* recorded: they consumed draws, so replay must repeat them.
+        """
+        request = request_from_wire(payload)
+        with self._work:
+            if self._finished:
+                raise WireError(
+                    "service-closed", "the daemon has shut down"
+                )
+            if self._draining:
+                raise WireError(
+                    "draining",
+                    "the daemon is draining (SIGTERM); no new sessions",
+                )
+            now = self._now()
+            start = max(request.start_s, now)
+            horizon = self.backend.duration_s
+            if start > horizon - request.period_s + 1e-9:
+                raise WireError(
+                    "horizon-passed",
+                    f"session would start at {start:.1f}s but the service "
+                    f"horizon is {horizon:.1f}s — no serviceable period left",
+                )
+            handle = self.backend.submit(request)
+            decision = self._recorder.decisions[-1]
+            sid = next(self._sids)
+            ring = ResultRing(self.ring_capacity)
+            sess = _Session(sid, token, handle, ring)
+            self.sessions[sid] = sess
+            self.log.record_submit(now, sid, dict(payload), decision)
+            if not handle.accepted:
+                sess.done = True
+                ring.close()
+                return {
+                    "session": sid,
+                    "status": handle.status,
+                    "reason": handle.reason,
+                    "now": now,
+                    "error": {
+                        "code": "admission-rejected",
+                        "message": handle.reason,
+                    },
+                }
+            self._work.notify_all()
+            spec = handle.spec
+            assert spec is not None
+            return {
+                "session": sid,
+                "status": handle.status,
+                "user_id": spec.user_id,
+                "start_s": spec.start_s,
+                "period_s": spec.period_s,
+                "num_periods": spec.num_periods,
+                "now": now,
+            }
+
+    @staticmethod
+    def _wire_status(sess: _Session) -> str:
+        """The client-facing status.
+
+        The backend only flips ``admitted`` sessions to ``completed`` at
+        close time; on the wire a session whose every period has been
+        harvested is already completed.
+        """
+        status = sess.handle.status
+        if status == STATUS_ADMITTED and sess.done:
+            return STATUS_COMPLETED
+        return status
+
+    def _owned(self, token: str, sid: int) -> _Session:
+        """The caller's session, or a typed unknown/foreign error."""
+        sess = self.sessions.get(sid)
+        if sess is None:
+            raise WireError("unknown-session", f"no session {sid}")
+        if sess.token != token:
+            raise WireError(
+                "foreign-session",
+                f"session {sid} belongs to another client",
+            )
+        return sess
+
+    def results(
+        self, token: str, sid: int, after: int = 0, wait_s: float = 0.0
+    ) -> Dict:
+        """GET /sessions/{id}/results: long-poll outcomes after period K."""
+        with self._lock:
+            sess = self._owned(token, sid)
+        wait = max(0.0, min(wait_s, MAX_WAIT_S))
+        # The ring has its own lock: a blocked reader never holds the
+        # app lock, so the pump and other clients keep moving.
+        items, missed, done = sess.ring.read(after_k=after, wait_s=wait)
+        with self._lock:
+            status = self._wire_status(sess)
+        return {
+            "session": sid,
+            "outcomes": items,
+            "missed": missed,
+            "done": done,
+            "status": status,
+        }
+
+    def cancel(self, token: str, sid: int) -> Dict:
+        """DELETE /sessions/{id}: idempotent cancel, recorded for replay."""
+        with self._work:
+            sess = self._owned(token, sid)
+            if not sess.handle.accepted or sess.done:
+                return {
+                    "session": sid,
+                    "cancelled": False,
+                    "status": self._wire_status(sess),
+                }
+            self.backend.cancel(sess.handle)
+            self.log.record_cancel(self._now(), sid)
+            sess.done = True
+            sess.ring.close()
+            self._work.notify_all()
+            return {
+                "session": sid,
+                "cancelled": True,
+                "status": sess.handle.status,
+            }
+
+    def stats_payload(self) -> Dict:
+        """GET /stats: backend counters + server-side attribution."""
+        with self._lock:
+            data = self.backend.stats().to_dict()
+            sessions = list(self.sessions.values())
+            data["server"] = {
+                "scenario": self.spec.name,
+                "draining": self._draining,
+                "finished": self._finished,
+                "uptime_s": time.monotonic() - self._started_wall,
+                "time_scale": self.time_scale,
+                "sessions": {
+                    "total": len(sessions),
+                    "live": sum(1 for s in sessions if not s.done),
+                    "done": sum(1 for s in sessions if s.done),
+                },
+                "pump": {
+                    "slices": self._slices,
+                    "advance_wall_s": self._advance_wall_s,
+                    "sim_now": self._now(),
+                },
+                "latency_ms": {
+                    name: timer.snapshot()
+                    for name, timer in sorted(self._timers.items())
+                },
+            }
+            return data
+
+    def healthz(self) -> Dict:
+        with self._lock:
+            return {
+                "ok": not self._finished,
+                "scenario": self.spec.name,
+                "draining": self._draining,
+                "now": self._now(),
+            }
+
+    # ------------------------------------------------------------------
+    # Shutdown: drain, close, prove
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Refuse new submits; existing sessions keep running."""
+        with self._work:
+            self._draining = True
+            self._work.notify_all()
+
+    def wait_drained(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until every session is done (True) or timeout (False)."""
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        with self._work:
+            while self._live_sessions():
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._work.wait(
+                    min(0.1, remaining) if remaining is not None else 0.1
+                )
+            return True
+
+    def cancel_remaining(self) -> int:
+        """Force-cancel every live session (drain-timeout stragglers).
+
+        Recorded like client cancels, so the log stays replayable.
+        """
+        cancelled = 0
+        with self._work:
+            for sess in self._live_sessions():
+                self.backend.cancel(sess.handle)
+                self.log.record_cancel(self._now(), sess.sid)
+                sess.done = True
+                sess.ring.close()
+                cancelled += 1
+            self._work.notify_all()
+        return cancelled
+
+    def finish(self) -> Dict:
+        """Close the backend, score the run, prove teardown left nothing.
+
+        Idempotent; returns (and caches) the final summary: the scored
+        :class:`WorkloadResult`, the result fingerprints replay must
+        reproduce, and the post-release leak census (all-zero when the
+        daemon's session teardown is airtight).
+        """
+        if self.summary is not None:
+            return self.summary
+        self._stop.set()
+        with self._work:
+            self._work.notify_all()
+        if self._pump is not None:
+            self._pump.join(timeout=10.0)
+        with self._work:
+            self._finished = True
+            workload = self.backend.close()
+            stats = self.backend.stats()
+            fingerprints = result_fingerprints(workload, stats)
+            # Completed sessions hold benign in-network residue until
+            # released; zero it so the leak census judges the daemon.
+            for sess in self.sessions.values():
+                if sess.handle.accepted:
+                    sess.handle.service.release_session_state(sess.handle)
+            leaks: Dict[str, int] = {}
+            for service in self._services():
+                for key, value in leak_census(service).items():
+                    leaks[key] = leaks.get(key, 0) + value
+            ratios = [s.success_ratio for s in workload.sessions]
+            self.summary = {
+                "scenario": self.spec.name,
+                "sessions": {
+                    "submitted": len(self.sessions),
+                    "admitted": stats.admitted,
+                    "rejected": stats.rejected,
+                    "cancelled": stats.cancelled,
+                },
+                "workload": {
+                    "sessions": len(workload.sessions),
+                    "mean_success": (
+                        sum(ratios) / len(ratios) if ratios else None
+                    ),
+                    "min_success": min(ratios) if ratios else None,
+                },
+                "stats": stats.to_dict(),
+                "fingerprints": fingerprints,
+                "leaks": leaks,
+                "leak_total": sum(leaks.values()),
+            }
+            for sess in self.sessions.values():
+                if not sess.done:
+                    sess.done = True
+                    sess.ring.close()
+            self._work.notify_all()
+        return self.summary
+
+    def write_log(self, out_dir: str = ".", name: Optional[str] = None) -> str:
+        """Write ``SERVE_<name>.json``: the replayable log + summary."""
+        import os
+
+        summary = self.finish()
+        data = self.log.to_dict(fingerprints=summary["fingerprints"])
+        data["summary"] = summary
+        safe = (name or self.spec.name).replace("/", "-").replace(" ", "-")
+        path = os.path.join(out_dir, f"SERVE_{safe}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Thin JSON shim: routes HTTP onto the owning :class:`ServeApp`."""
+
+    protocol_version = "HTTP/1.1"
+    #: set by :func:`make_server` on the server class
+    server_version = "repro-serve/1"
+
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the daemon's stdout is for the banner, not access logs
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _token(self) -> str:
+        token = (self.headers.get(TOKEN_HEADER) or "").strip()
+        if not token:
+            raise WireError(
+                "missing-token",
+                f"the {TOKEN_HEADER} header identifies the client",
+            )
+        return token
+
+    def _body(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(
+                "invalid-request", f"request body is not JSON: {exc}"
+            ) from exc
+
+    def _session_route(self, parts: List[str]) -> int:
+        try:
+            return int(parts[1])
+        except ValueError as exc:
+            raise WireError(
+                "invalid-request", f"session id must be an integer: {parts[1]!r}"
+            ) from exc
+
+    def _dispatch(self, method: str) -> None:
+        endpoint = "?"
+        t0 = time.perf_counter()
+        try:
+            url = urlsplit(self.path)
+            parts = [p for p in url.path.split("/") if p]
+            query = parse_qs(url.query)
+            if method == "GET" and parts == ["healthz"]:
+                endpoint = "GET /healthz"
+                self._send_json(200, self.app.healthz())
+            elif method == "GET" and parts == ["stats"]:
+                endpoint = "GET /stats"
+                self._send_json(200, self.app.stats_payload())
+            elif method == "POST" and parts == ["sessions"]:
+                endpoint = "POST /sessions"
+                token = self._token()
+                resp = self.app.submit(token, self._body())
+                status = 201 if "error" not in resp else 409
+                self._send_json(status, resp)
+            elif (
+                method == "GET"
+                and len(parts) == 3
+                and parts[0] == "sessions"
+                and parts[2] == "results"
+            ):
+                endpoint = "GET /sessions/{id}/results"
+                token = self._token()
+                sid = self._session_route(parts)
+                try:
+                    after = int(query.get("after", ["0"])[0])
+                    wait_s = float(query.get("wait", ["0"])[0])
+                except ValueError as exc:
+                    raise WireError(
+                        "invalid-request", f"bad query parameter: {exc}"
+                    ) from exc
+                self._send_json(200, self.app.results(token, sid, after, wait_s))
+            elif (
+                method == "DELETE"
+                and len(parts) == 2
+                and parts[0] == "sessions"
+            ):
+                endpoint = "DELETE /sessions/{id}"
+                token = self._token()
+                sid = self._session_route(parts)
+                self._send_json(200, self.app.cancel(token, sid))
+            else:
+                raise WireError(
+                    "unknown-route", f"{method} {url.path} is not an endpoint"
+                )
+        except Exception as exc:  # noqa: BLE001 - typed contract boundary
+            error = map_exception(exc)
+            try:
+                self._send_json(error.http_status, error.payload())
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away mid-error; nothing to tell it
+        finally:
+            self.app.note_latency(
+                endpoint, (time.perf_counter() - t0) * 1000.0
+            )
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+
+def make_server(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """An HTTP server bound to ``host:port`` (0 = ephemeral), serving ``app``."""
+
+    class _Server(ThreadingHTTPServer):
+        daemon_threads = True
+        allow_reuse_address = True
+
+    server = _Server((host, port), ServeHandler)
+    server.app = app  # type: ignore[attr-defined]
+    return server
+
+
+def run_serve(
+    spec: ScenarioSpec,
+    host: str = "127.0.0.1",
+    port: int = 8600,
+    drain_timeout_s: float = 30.0,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    ring_capacity: int = 256,
+    out_dir: str = ".",
+    name: Optional[str] = None,
+) -> int:
+    """The blocking ``repro serve`` entrypoint: serve until SIGTERM/SIGINT.
+
+    Returns the process exit code: 0 on a clean drain with a leak-free
+    census, 3 (EXIT_FAILURE) when residual protocol state survived.
+    """
+    from .errors import EXIT_FAILURE
+
+    app = ServeApp(
+        spec,
+        ring_capacity=ring_capacity,
+        time_scale=time_scale,
+        drain_timeout_s=drain_timeout_s,
+    )
+    server = make_server(app, host=host, port=port)
+    stop = threading.Event()
+    previous = {}
+
+    def _request_stop(signum, frame) -> None:
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _request_stop)
+    app.start()
+    server_thread = threading.Thread(
+        target=server.serve_forever, name="serve-http", daemon=True
+    )
+    server_thread.start()
+    bound = server.server_address
+    print(
+        f"repro serve: scenario={spec.name} listening on "
+        f"http://{bound[0]}:{bound[1]} (time_scale={time_scale:g}, "
+        f"drain_timeout={drain_timeout_s:g}s) — SIGTERM to drain",
+        flush=True,
+    )
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print("repro serve: draining (new submits get 503)...", flush=True)
+    app.begin_drain()
+    drained = app.wait_drained(drain_timeout_s)
+    forced = 0 if drained else app.cancel_remaining()
+    summary = app.finish()
+    log_path = app.write_log(out_dir=out_dir, name=name)
+    server.shutdown()
+    server.server_close()
+    sessions = summary["sessions"]
+    print(
+        f"repro serve: drained={'clean' if drained else f'forced {forced}'} "
+        f"sessions={sessions['submitted']} admitted={sessions['admitted']} "
+        f"rejected={sessions['rejected']} leak_total={summary['leak_total']} "
+        f"log={log_path}",
+        flush=True,
+    )
+    if summary["leak_total"] > 0:
+        import sys
+
+        print(
+            f"repro serve: error: residual protocol state after drain: "
+            f"{ {k: v for k, v in summary['leaks'].items() if v} }",
+            file=sys.stderr,
+        )
+        return EXIT_FAILURE
+    return 0
+
+
+__all__ = [
+    "DEFAULT_SLICE_S",
+    "DEFAULT_TIME_SCALE",
+    "MAX_WAIT_S",
+    "TOKEN_HEADER",
+    "ServeApp",
+    "ServeHandler",
+    "make_server",
+    "run_serve",
+]

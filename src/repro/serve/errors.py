@@ -1,0 +1,101 @@
+"""The typed wire/CLI error contract.
+
+Every failure the serve daemon can hand a client — and every failure the
+CLI can exit on — maps to one stable ``{code, message}`` JSON payload.
+The codes are API: tests pin them, clients branch on them, and the CLI
+derives its exit status from them, so the same error means the same
+thing whether it arrives over HTTP or on stderr.
+
+Two exit classes, matching the CLI's long-standing convention:
+
+* ``2`` — usage/validation: the caller's input was malformed (bad JSON,
+  unknown scenario, missing token, unknown route).
+* ``3`` — runtime/invariant: the input was well-formed but the service
+  said no (admission rejected, horizon passed, draining, foreign
+  session) or a determinism check failed (replay mismatch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+#: CLI exit statuses (the repo-wide convention)
+EXIT_USAGE = 2
+EXIT_FAILURE = 3
+
+#: code -> (http_status, exit_code); the stable contract tests pin
+ERROR_CODES: Dict[str, Tuple[int, int]] = {
+    "invalid-request": (400, EXIT_USAGE),
+    "unknown-scenario": (404, EXIT_USAGE),
+    "missing-token": (401, EXIT_USAGE),
+    "unknown-route": (404, EXIT_USAGE),
+    "foreign-session": (403, EXIT_FAILURE),
+    "unknown-session": (404, EXIT_FAILURE),
+    "admission-rejected": (409, EXIT_FAILURE),
+    "horizon-passed": (409, EXIT_FAILURE),
+    "service-closed": (503, EXIT_FAILURE),
+    "draining": (503, EXIT_FAILURE),
+    "daemon-unreachable": (502, EXIT_FAILURE),
+    "replay-mismatch": (409, EXIT_FAILURE),
+    "internal": (500, EXIT_FAILURE),
+}
+
+
+class WireError(Exception):
+    """One typed failure, equally at home in an HTTP body or an exit path."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown wire-error code {code!r}")
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.http_status, self.exit_code = ERROR_CODES[code]
+
+    def payload(self) -> Dict:
+        """The JSON body every error response carries."""
+        return {"error": {"code": self.code, "message": self.message}}
+
+    @classmethod
+    def from_payload(cls, data: Mapping) -> "WireError":
+        """Rebuild the error a server sent (client-side symmetry)."""
+        error = data.get("error") if isinstance(data, Mapping) else None
+        if not isinstance(error, Mapping) or "code" not in error:
+            return cls("internal", f"malformed error payload: {data!r}")
+        code = str(error["code"])
+        message = str(error.get("message", ""))
+        if code not in ERROR_CODES:
+            return cls("internal", f"unknown error code {code!r}: {message}")
+        return cls(code, message)
+
+
+def map_exception(exc: BaseException) -> WireError:
+    """Fold any exception into the typed contract.
+
+    ``ServiceClosedError`` (the backend sealed itself) becomes
+    ``service-closed``; ``KeyError`` is the scenario-registry miss;
+    spec/request validation errors (``ValueError``/``TypeError``) become
+    ``invalid-request``; anything else is ``internal`` — the catch-all
+    that keeps a daemon thread from dying silently.
+    """
+    from ..api.service import ServiceClosedError
+
+    if isinstance(exc, WireError):
+        return exc
+    if isinstance(exc, ServiceClosedError):
+        return WireError("service-closed", str(exc))
+    if isinstance(exc, KeyError):
+        detail = exc.args[0] if exc.args else exc
+        return WireError("unknown-scenario", str(detail))
+    if isinstance(exc, (ValueError, TypeError)):
+        return WireError("invalid-request", str(exc))
+    return WireError("internal", f"{type(exc).__name__}: {exc}")
+
+
+__all__ = [
+    "ERROR_CODES",
+    "EXIT_FAILURE",
+    "EXIT_USAGE",
+    "WireError",
+    "map_exception",
+]

@@ -466,3 +466,108 @@ class TestCliExitCodes:
         code = cli_main(["scenario", "--file", str(spec)])
         assert code == 2
         assert "unknown fault crash key 'boom'" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The admission axis (sweep) and the admission-no-harm invariant
+# ----------------------------------------------------------------------
+class TestAdmissionAxis:
+    def _base(self) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="mini",
+            duration_s=24.0,
+            requests=({"radius_m": 50.0, "period_s": 2.0, "freshness_s": 1.0,
+                       "count": 2, "spacing_s": 1.5},),
+        )
+
+    def test_unknown_admission_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep admission"):
+            SweepAxes(admissions=("vip-only",))
+        with pytest.raises(ValueError, match="must not be empty"):
+            SweepAxes(admissions=())
+
+    def test_from_dict_accepts_admissions(self):
+        axes = SweepAxes.from_dict(
+            {"users": [2], "shards": [1], "intensities": [0.0],
+             "arrivals": ["staggered"],
+             "admissions": ["accept-all", "per-area-cap", "phase-assign"]}
+        )
+        assert axes.admissions == ("accept-all", "per-area-cap",
+                                   "phase-assign")
+        assert axes.cell_count() == 3
+
+    def test_build_cells_expands_admission_configs(self):
+        axes = SweepAxes(users=(2,), shards=(1,), intensities=(0.0,),
+                         arrivals=("staggered",),
+                         admissions=("accept-all", "per-area-cap",
+                                     "phase-assign"))
+        cells = build_cells(self._base(), axes)
+        assert [c.admission for c in cells] == [
+            "accept-all", "per-area-cap", "phase-assign"
+        ]
+        by_name = {c.admission: c for c in cells}
+        assert by_name["accept-all"].payload["admission"] == {}
+        assert by_name["per-area-cap"].payload["admission"] == {
+            "policy": "per-area-cap", "max_overlapping": 3
+        }
+        assert by_name["phase-assign"].payload["admission"] == {
+            "policy": "phase-assign", "slots": 4
+        }
+        for cell in cells:
+            assert cell.payload["name"].endswith(f".{cell.admission}")
+            ScenarioSpec.from_dict(cell.payload)
+
+    def _row(self, **over):
+        row = {
+            "users": 2, "shards": 1, "intensity": 0.0, "arrival": "staggered",
+            "admission": "accept-all", "rejected": 0,
+            "mean_success": 0.9, "min_success": 0.8, "degraded_periods": 0,
+        }
+        row.update(over)
+        return row
+
+    def test_admission_no_harm_violation_is_named(self):
+        rows = [
+            self._row(),
+            self._row(admission="per-area-cap", rejected=1,
+                      mean_success=0.7),
+        ]
+        (violation,) = check_invariants(rows)
+        assert violation.startswith("admission-no-harm:")
+        assert "per-area-cap" in violation
+
+    def test_admission_no_harm_within_tolerance_passes(self):
+        rows = [
+            self._row(mean_success=0.900),
+            self._row(admission="per-area-cap", rejected=1,
+                      mean_success=0.895),
+        ]
+        assert check_invariants(rows) == []
+
+    def test_admission_without_rejections_is_not_judged(self):
+        # A policy that rejected nobody ran the same workload; its score
+        # may wobble freely without implicating admission control.
+        rows = [
+            self._row(),
+            self._row(admission="phase-assign", rejected=0,
+                      mean_success=0.2),
+        ]
+        assert check_invariants(rows) == []
+
+    def test_small_real_grid_carries_admission_and_passes(self):
+        from repro.faults.sweep import build_cells as bc, run_sweep_cell
+
+        axes = SweepAxes(users=(2,), shards=(1,), intensities=(0.0,),
+                         arrivals=("staggered",),
+                         admissions=("accept-all", "phase-assign"))
+        base = ScenarioSpec(
+            name="mini",
+            duration_s=16.0,
+            requests=({"radius_m": 60.0, "period_s": 2.0, "freshness_s": 1.0,
+                       "count": 2, "spacing_s": 1.0},),
+        )
+        rows = [run_sweep_cell(cell) for cell in bc(base, axes)]
+        assert [r["admission"] for r in rows] == ["accept-all",
+                                                 "phase-assign"]
+        assert all("rejected" in r for r in rows)
+        assert check_invariants(rows) == []
