@@ -10,7 +10,10 @@
 #   make profile         cProfile one bench scenario (SCENARIO=..., ARGS=...)
 #   make examples-smoke  run every examples/ script at quick scale
 #   make sweep-smoke     quick adversarial robustness sweep (invariant gate)
+#   make fuzz-smoke      seeded randomized scenarios through the invariants
 #   make serve-smoke     daemon + slam + SIGTERM drain + bit-identical replay
+#   make chaos-smoke     wire-fault daemon + retrying slam + SIGKILL +
+#                        bit-identical partial WAL replay
 #   make check           what CI runs on every push
 
 PY ?= python
@@ -24,7 +27,10 @@ SCENARIO ?= scale_16users
 #: port the serve smoke binds (ephemeral-ish, off the default 8600)
 SERVE_SMOKE_PORT ?= 8641
 
-.PHONY: test bench bench-smoke bench-perf bench-cluster perf-gate profile examples-smoke sweep-smoke serve-smoke check
+#: port the chaos smoke binds (distinct so both smokes can run in parallel)
+CHAOS_SMOKE_PORT ?= 8652
+
+.PHONY: test bench bench-smoke bench-perf bench-cluster perf-gate profile examples-smoke sweep-smoke fuzz-smoke serve-smoke chaos-smoke check
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q tests/
@@ -73,6 +79,14 @@ sweep-smoke:
 		--duration 36 --users 2,4 --shards 1,2 --intensities 0,1 \
 		--arrivals staggered --name robustness-smoke
 
+# Seeded randomized scenarios (strictly bounded draws) through the same
+# metamorphic invariants the sweep enforces.  Same seed, same cases —
+# any violation replays with `repro fuzz --seed 0 --runs 2`.  The report
+# lands in FUZZ_fuzz-smoke.json.
+fuzz-smoke:
+	PYTHONPATH=src $(PY) -m repro fuzz paper-default --runs 2 --seed 0 \
+		--name fuzz-smoke
+
 # The serving-layer smoke: boot the daemon, slam it with the rush-hour
 # burst from 4 concurrent clients, drain it with SIGTERM, then prove the
 # recorded submission log replays bit-identically.  Artifacts land in
@@ -101,6 +115,38 @@ serve-smoke:
 	kill -TERM $$SERVE_PID; \
 	wait $$SERVE_PID || exit 1; \
 	PYTHONPATH=src $(PY) -m repro replay SERVE_serve-smoke.json
+
+# The chaos drill as a shell pipeline: a daemon whose wire actively
+# fails (resets, injected 5xx, truncated bodies, delays), a slam client
+# that absorbs it all with bounded retries + idempotency keys, a SIGKILL
+# mid-flight (no drain, no report), and the proof that the crash-safe
+# WAL's flushed prefix still replays bit-identically.  Artifacts:
+# SLAM_chaos-smoke.json + SERVE_chaos-smoke.wal.
+chaos-smoke:
+	@rm -f SERVE_chaos-smoke.wal SLAM_chaos-smoke.json /tmp/chaos_scenario.json; \
+	PYTHONPATH=src $(PY) -c "import json; from repro.api.scenarios import get_scenario; spec = get_scenario('rush-hour-burst').with_overrides(duration_s=24.0, faults={'wire': {'reset_prob': 0.06, 'delay_prob': 0.1, 'delay_s': 0.05, 'error_prob': 0.06, 'truncate_prob': 0.06}}); json.dump(spec.to_dict(), open('/tmp/chaos_scenario.json', 'w'))"; \
+	PYTHONPATH=src $(PY) -m repro serve --file /tmp/chaos_scenario.json \
+		--port $(CHAOS_SMOKE_PORT) --time-scale 4 --wal-flush 2 \
+		--name chaos-smoke & \
+	SERVE_PID=$$!; \
+	ready=0; \
+	for i in $$(seq 1 150); do \
+		if $(PY) -c "import urllib.request; urllib.request.urlopen('http://127.0.0.1:$(CHAOS_SMOKE_PORT)/healthz', timeout=1)" 2>/dev/null; then \
+			ready=1; break; \
+		fi; \
+		sleep 0.2; \
+	done; \
+	if [ $$ready -ne 1 ]; then \
+		echo "chaos-smoke: daemon never answered /healthz"; \
+		kill $$SERVE_PID 2>/dev/null; exit 1; \
+	fi; \
+	PYTHONPATH=src $(PY) -m repro slam --file /tmp/chaos_scenario.json \
+		--url http://127.0.0.1:$(CHAOS_SMOKE_PORT) --rate 16 --clients 4 \
+		--duration 90 --retries 8 --name chaos-smoke \
+		|| { kill -KILL $$SERVE_PID 2>/dev/null; exit 1; }; \
+	kill -KILL $$SERVE_PID; \
+	wait $$SERVE_PID 2>/dev/null; \
+	PYTHONPATH=src $(PY) -m repro replay --partial SERVE_chaos-smoke.wal
 
 # One-command cProfile of a canonical scenario (the ROADMAP recipe):
 #   make profile SCENARIO=fig4_jit ARGS="--sort cumtime --top 40"

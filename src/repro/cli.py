@@ -9,6 +9,8 @@ Commands:
 * ``sweep`` — fan a scenario across users x shards x fault-intensity x
   arrival axes, write ``SWEEP_<name>.json`` + a markdown table, and fail
   loudly when a metamorphic invariant breaks.
+* ``fuzz`` — draw seeded randomized scenarios from strictly bounded
+  ranges and run each through the sweep's metamorphic invariants.
 * ``fig`` — regenerate one of the paper's figures (4-8) as a table.
 * ``bench`` — time the hot-path scenarios, write ``BENCH_perf.json``, and
   optionally gate against a same-machine baseline report.
@@ -279,6 +281,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="log/report name (default: the scenario's name)",
     )
+    serve_p.add_argument(
+        "--edge-rate",
+        type=float,
+        default=0.0,
+        help="per-tenant admitted submissions per second "
+        "(0 = edge admission off, the default)",
+    )
+    serve_p.add_argument(
+        "--edge-burst",
+        type=float,
+        default=0.0,
+        help="per-tenant token-bucket burst (0 = 2x the rate)",
+    )
+    serve_p.add_argument(
+        "--max-live-sessions",
+        type=int,
+        default=0,
+        help="shed new submissions (503 overloaded) above this many live "
+        "sessions (0 = no ceiling)",
+    )
+    serve_p.add_argument(
+        "--max-pump-lag",
+        type=float,
+        default=0.0,
+        help="shed new submissions when the pacing pump lags this many "
+        "wall seconds (0 = no ceiling)",
+    )
+    serve_p.add_argument(
+        "--wal-flush",
+        type=int,
+        default=8,
+        help="fsync the crash-safe op log every N ops (default 8; "
+        "1 = every op)",
+    )
 
     slam_p = sub.add_parser(
         "slam",
@@ -324,6 +360,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="long-poll wait per results call (default 0.5s)",
     )
     slam_p.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-request HTTP timeout in seconds (default 10)",
+    )
+    slam_p.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="bounded retries per request with decorrelated-jitter "
+        "backoff (default 3; 0 = fail fast)",
+    )
+    slam_p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed of the clients' backoff jitter streams (default 0)",
+    )
+    slam_p.add_argument(
         "--out-dir",
         default=".",
         help="directory for SLAM_<name>.json (default current directory)",
@@ -339,7 +394,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-execute a SERVE_<name>.json submission log in-process and "
         "verify it reproduces the daemon's result fingerprints",
     )
-    replay_p.add_argument("log", help="path to a SERVE_<name>.json log")
+    replay_p.add_argument(
+        "log",
+        help="path to a SERVE_<name>.json log (or a SERVE_<name>.wal "
+        "with --partial)",
+    )
+    replay_p.add_argument(
+        "--partial",
+        action="store_true",
+        help="treat the input as a crash-safe WAL (SERVE_<name>.wal) from "
+        "a killed daemon: replay its flushed prefix twice and verify the "
+        "two executions agree bit for bit",
+    )
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="draw seeded randomized scenarios (strictly bounded) and run "
+        "each through the sweep's metamorphic invariants",
+    )
+    fuzz_p.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="base scenario registry name (see `repro scenario --list`)",
+    )
+    fuzz_p.add_argument(
+        "--file", default=None, help="load the base ScenarioSpec from a JSON file"
+    )
+    fuzz_p.add_argument(
+        "--runs", type=int, default=3, help="cases to draw (default 3)"
+    )
+    fuzz_p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fuzz stream seed — same seed, same cases (default 0)",
+    )
+    fuzz_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes per case's sweep grid (default serial)",
+    )
+    fuzz_p.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for FUZZ_<name>.json (default current directory)",
+    )
+    fuzz_p.add_argument(
+        "--name",
+        default=None,
+        help="report name (default: <base>-fuzz)",
+    )
 
     fig_p = sub.add_parser("fig", help="regenerate a paper figure")
     fig_p.add_argument("number", type=int, choices=[4, 5, 6, 7, 8])
@@ -729,6 +835,51 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .api.scenarios import get_scenario, load_scenario_file
+    from .faults.fuzz import markdown_summary, run_fuzz, write_fuzz_outputs
+
+    try:
+        if args.file:
+            base = load_scenario_file(args.file)
+        elif args.scenario:
+            base = get_scenario(args.scenario)
+        else:
+            raise ValueError(
+                "give a base scenario name or --file "
+                "(see `repro scenario --list`)"
+            )
+        print(
+            f"fuzz base={base.name} runs={args.runs} seed={args.seed}",
+            file=sys.stderr,
+        )
+        result = run_fuzz(
+            base,
+            runs=args.runs,
+            seed=args.seed,
+            workers=max(args.workers, 0),
+            name=args.name,
+        )
+    except (KeyError, OSError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro fuzz: error: {message}", file=sys.stderr)
+        return 2
+    print(markdown_summary(result))
+    path = write_fuzz_outputs(result, args.out_dir)
+    cells = sum(case["cells"] for case in result.cases)
+    print(f"\nfuzz report written to {path} ({result.runs} cases, "
+          f"{cells} sweep cells)")
+    if result.violations:
+        for violation in result.violations:
+            print(
+                f"repro fuzz: INVARIANT VIOLATED: {violation}", file=sys.stderr
+            )
+        return 3
+    print(f"metamorphic invariants hold across all {result.runs} drawn "
+          f"cases (replay with --seed {result.seed})")
+    return 0
+
+
 def _load_spec_for_daemon(args: argparse.Namespace, command: str):
     """Resolve the scenario a serve/slam command names, with overrides."""
     from .api.scenarios import get_scenario, load_scenario_file
@@ -757,6 +908,7 @@ def _load_spec_for_daemon(args: argparse.Namespace, command: str):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve.daemon import DEFAULT_TIME_SCALE, run_serve
+    from .serve.edge import EdgeConfig
 
     try:
         spec = _load_spec_for_daemon(args, "serve")
@@ -767,6 +919,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         time_scale = (
             args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
         )
+        edge = EdgeConfig(
+            rate=args.edge_rate,
+            burst=args.edge_burst,
+            max_live_sessions=args.max_live_sessions,
+            max_pump_lag_s=args.max_pump_lag,
+        )
         return run_serve(
             spec,
             host=args.host,
@@ -776,6 +934,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ring_capacity=args.ring_capacity,
             out_dir=args.out_dir,
             name=args.name,
+            edge=edge,
+            wal_flush_every=args.wal_flush,
         )
     except (KeyError, OSError, ValueError, TypeError) as exc:
         message = exc.args[0] if exc.args else exc
@@ -800,6 +960,9 @@ def _cmd_slam(args: argparse.Namespace) -> int:
             clients=args.clients,
             duration_s=args.duration,
             wait_s=args.wait,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            seed=args.seed,
         )
     except (KeyError, OSError, ValueError, TypeError) as exc:
         message = exc.args[0] if exc.args else exc
@@ -827,11 +990,55 @@ def _cmd_slam(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay_partial(args: argparse.Namespace) -> int:
+    """``repro replay --partial``: verify a killed daemon's WAL prefix."""
+    from .serve.log import load_partial_log, verify_partial_log
+
+    try:
+        data = load_partial_log(args.log)
+    except (OSError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro replay: error: {message}", file=sys.stderr)
+        return 2
+    try:
+        ok, first, second = verify_partial_log(data)
+    except (KeyError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro replay: error: {message}", file=sys.stderr)
+        return 2
+    ops = data["ops"]
+    submits = sum(1 for op in ops if op.get("op") == "submit")
+    if not ok:
+        print(
+            "repro replay: REPLAY MISMATCH: two executions of the flushed "
+            "WAL prefix diverged — the log is not deterministic",
+            file=sys.stderr,
+        )
+        print(f"  first : {first}", file=sys.stderr)
+        print(f"  second: {second}", file=sys.stderr)
+        return 3
+    tail = (
+        " (an unflushed tail line was truncated by the crash, as designed)"
+        if data["wal_truncated_tail"]
+        else ""
+    )
+    print(
+        f"partial replay ok: flushed prefix of {submits} submissions, "
+        f"{len(ops) - submits} cancels replays bit-identically — "
+        f"{len(first['sessions'])} scored sessions, frame counters "
+        f"(sent={first['frames_sent']}, collided={first['frames_collided']}, "
+        f"delivered={first['frames_delivered']}){tail}"
+    )
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     import json
 
     from .serve.log import verify_submission_log
 
+    if args.partial:
+        return _cmd_replay_partial(args)
     try:
         with open(args.log, "r", encoding="utf-8") as fh:
             data = json.load(fh)
@@ -1137,6 +1344,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scenario(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "slam":

@@ -30,6 +30,7 @@ from .plan import (
     NodeCrash,
     RadioDegradation,
     RegionBlackout,
+    WireChaos,
     WorkerKill,
     load_fault_file,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "NodeCrash",
     "RadioDegradation",
     "RegionBlackout",
+    "WireChaos",
     "WorkerKill",
     "load_fault_file",
 ]

@@ -6,7 +6,7 @@ with the same strictness as :class:`~repro.api.scenarios.ScenarioSpec`:
 unknown keys anywhere in the plan are rejected at load time with a
 one-line error naming the bad key.
 
-Four fault kinds:
+Five fault kinds:
 
 * ``crashes`` — one node dies at ``at_s`` and (optionally) recovers at
   ``recover_s``.
@@ -19,6 +19,11 @@ Four fault kinds:
   ``"faults"`` stream).
 * ``worker_kills`` — in the cluster path, the worker process computing a
   shard is killed once and the shard replayed on a restarted worker.
+* ``wire`` — chaos on the serve daemon's HTTP surface only (connection
+  resets, response delays, truncated bodies, injected 5xx), executed by
+  daemon middleware off a dedicated RNG stream.  Like ``worker_kills``
+  it never touches the simulated world: a wire-only plan leaves every
+  golden pin bit-identical.
 """
 
 from __future__ import annotations
@@ -112,11 +117,60 @@ class WorkerKill:
             raise ValueError(f"worker_kill shard must be >= 0, got {self.shard}")
 
 
+@dataclass(frozen=True)
+class WireChaos:
+    """Per-request chaos probabilities on the daemon's HTTP surface.
+
+    Each incoming request draws its fate from the daemon's dedicated
+    wire-chaos RNG stream: reset the connection before dispatch
+    (``reset_prob``), sleep ``uniform(0, delay_s)`` first
+    (``delay_prob``), answer with a typed ``chaos-injected`` 5xx instead
+    of dispatching (``error_prob``), or dispatch normally but cut the
+    response body short (``truncate_prob`` — the state-committed,
+    response-lost case idempotency keys exist for).
+    """
+
+    reset_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_s: float = 0.0
+    error_prob: float = 0.0
+    truncate_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("reset_prob", "delay_prob", "error_prob", "truncate_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"wire {name} must be in [0, 1], got {value}"
+                )
+        if self.delay_s < 0:
+            raise ValueError(f"wire delay_s must be >= 0, got {self.delay_s}")
+        if self.delay_prob > 0 and self.delay_s <= 0:
+            raise ValueError(
+                f"wire delay_prob {self.delay_prob} needs delay_s > 0"
+            )
+
+    @property
+    def empty(self) -> bool:
+        """Whether this wire section can never perturb a request."""
+        return not (
+            self.reset_prob
+            or self.delay_prob
+            or self.error_prob
+            or self.truncate_prob
+        )
+
+
 _CRASH_KEYS = frozenset({"node_id", "at_s", "recover_s"})
 _BLACKOUT_KEYS = frozenset({"x", "y", "radius_m", "at_s", "duration_s"})
 _DEGRADATION_KEYS = frozenset({"at_s", "duration_s", "corruption_prob"})
 _WORKER_KILL_KEYS = frozenset({"shard"})
-_PLAN_KEYS = frozenset({"crashes", "blackouts", "degradations", "worker_kills"})
+_WIRE_KEYS = frozenset(
+    {"reset_prob", "delay_prob", "delay_s", "error_prob", "truncate_prob"}
+)
+_PLAN_KEYS = frozenset(
+    {"crashes", "blackouts", "degradations", "worker_kills", "wire"}
+)
 
 
 @dataclass(frozen=True)
@@ -127,22 +181,28 @@ class FaultPlan:
     blackouts: Tuple[RegionBlackout, ...] = ()
     degradations: Tuple[RadioDegradation, ...] = ()
     worker_kills: Tuple[WorkerKill, ...] = field(default=())
+    wire: Optional[WireChaos] = None
 
     @property
     def empty(self) -> bool:
         """Whether the plan schedules nothing at all."""
         return not (
-            self.crashes or self.blackouts or self.degradations or self.worker_kills
+            self.crashes
+            or self.blackouts
+            or self.degradations
+            or self.worker_kills
+            or (self.wire is not None and not self.wire.empty)
         )
 
     @property
     def world_empty(self) -> bool:
         """Whether the plan touches the simulated world itself.
 
-        ``worker_kills`` only exercise the cluster's process pool — a
-        worker-kill-only plan leaves every world bit-identical (the killed
-        shard is replayed), so no injector is built and no period is ever
-        marked degraded for it.
+        ``worker_kills`` only exercise the cluster's process pool and
+        ``wire`` only the serve daemon's HTTP surface — a plan with just
+        those leaves every world bit-identical (the killed shard is
+        replayed, the wire chaos draws from its own stream), so no
+        injector is built and no period is ever marked degraded for it.
         """
         return not (self.crashes or self.blackouts or self.degradations)
 
@@ -166,11 +226,25 @@ class FaultPlan:
         for entry in data.get("worker_kills", ()):
             _reject_unknown_keys(entry, _WORKER_KILL_KEYS, "fault worker_kill")
             kills.append(WorkerKill(**entry))
+        wire: Optional[WireChaos] = None
+        if "wire" in data:
+            entry = data["wire"]
+            if not isinstance(entry, Mapping):
+                raise ValueError(
+                    f"fault plan 'wire' must be an object, got {type(entry).__name__}"
+                )
+            _reject_unknown_keys(entry, _WIRE_KEYS, "fault wire")
+            candidate = WireChaos(**entry)
+            # All-zero wire sections normalise to no section at all, so
+            # "empty wire plan" and "no wire plan" are the same object —
+            # the bit-identity guarantee needs no special cases.
+            wire = None if candidate.empty else candidate
         return cls(
             crashes=tuple(crashes),
             blackouts=tuple(blackouts),
             degradations=tuple(degradations),
             worker_kills=tuple(kills),
+            wire=wire,
         )
 
     def to_dict(self) -> dict:
@@ -207,6 +281,14 @@ class FaultPlan:
             ]
         if self.worker_kills:
             out["worker_kills"] = [{"shard": w.shard} for w in self.worker_kills]
+        if self.wire is not None and not self.wire.empty:
+            out["wire"] = {
+                "reset_prob": self.wire.reset_prob,
+                "delay_prob": self.wire.delay_prob,
+                "delay_s": self.wire.delay_s,
+                "error_prob": self.wire.error_prob,
+                "truncate_prob": self.wire.truncate_prob,
+            }
         return out
 
 

@@ -539,6 +539,7 @@ def run_sweep(
 def write_sweep_outputs(result: SweepResult, out_dir: str = ".") -> str:
     """Write ``SWEEP_<name>.json`` (and return its path)."""
     safe = result.name.replace("/", "-").replace(" ", "-")
+    os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"SWEEP_{safe}.json")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(result.to_dict(), fh, indent=2, sort_keys=True)

@@ -6,10 +6,12 @@ rings, graceful SIGTERM drain, and a bit-identically replayable
 submission log; ``repro slam`` is the load generator that proves it.
 """
 
-from .client import ServeClient
+from .chaos import ChaosAction, WireChaosPlane
+from .client import RetryPolicy, ServeClient
 from .daemon import (
     DEFAULT_SLICE_S,
     DEFAULT_TIME_SCALE,
+    IDEMPOTENCY_HEADER,
     MAX_WAIT_S,
     TOKEN_HEADER,
     ServeApp,
@@ -17,12 +19,23 @@ from .daemon import (
     make_server,
     run_serve,
 )
-from .errors import ERROR_CODES, EXIT_FAILURE, EXIT_USAGE, WireError, map_exception
+from .edge import EdgeConfig, EdgeGuard, TokenBucket
+from .errors import (
+    ERROR_CODES,
+    EXIT_FAILURE,
+    EXIT_USAGE,
+    RETRYABLE_CODES,
+    WireError,
+    map_exception,
+)
 from .log import (
     LOG_FORMAT,
+    WAL_FORMAT,
     SubmissionLog,
+    load_partial_log,
     replay_submission_log,
     result_fingerprints,
+    verify_partial_log,
     verify_submission_log,
 )
 from .ring import ResultRing
@@ -30,21 +43,31 @@ from .slam import SlamConfig, markdown_table, run_slam, write_slam_outputs
 from .wire import outcome_to_wire, percentile, request_from_wire, summarize
 
 __all__ = [
+    "ChaosAction",
     "DEFAULT_SLICE_S",
     "DEFAULT_TIME_SCALE",
     "ERROR_CODES",
     "EXIT_FAILURE",
     "EXIT_USAGE",
+    "EdgeConfig",
+    "EdgeGuard",
+    "IDEMPOTENCY_HEADER",
     "LOG_FORMAT",
     "MAX_WAIT_S",
+    "RETRYABLE_CODES",
     "ResultRing",
+    "RetryPolicy",
     "ServeApp",
     "ServeClient",
     "ServeHandler",
     "SlamConfig",
     "SubmissionLog",
     "TOKEN_HEADER",
+    "TokenBucket",
+    "WAL_FORMAT",
+    "WireChaosPlane",
     "WireError",
+    "load_partial_log",
     "make_server",
     "map_exception",
     "markdown_table",
@@ -56,6 +79,7 @@ __all__ = [
     "run_serve",
     "run_slam",
     "summarize",
+    "verify_partial_log",
     "verify_submission_log",
     "write_slam_outputs",
 ]

@@ -1,0 +1,113 @@
+"""The daemon-side executor of a fault plan's ``wire`` section.
+
+:class:`WireChaosPlane` turns the declarative
+:class:`~repro.faults.plan.WireChaos` probabilities into one
+:class:`ChaosAction` per incoming HTTP request: reset the connection
+before dispatch, delay the response, answer with a typed
+``chaos-injected`` 5xx instead of dispatching, or dispatch normally and
+truncate the response body (state committed, response lost — the case
+idempotency keys exist for).
+
+Determinism: all draws come from one dedicated ``"faults.wire"`` stream
+seeded by the scenario seed — *not* the world's ``"faults"`` stream
+instance, which belongs to the single-threaded simulation and must see
+exactly the in-world draw sequence replay reproduces.  Same seed + same
+request arrival order ⇒ same chaos schedule; a daemon without a wire
+section never constructs the stream at all, so an empty/absent wire
+plan is bit-identical to no chaos plane existing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict
+
+from ..faults.plan import WireChaos
+from ..sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """What happens to one request, decided before dispatch."""
+
+    reset: bool = False
+    delay_s: float = 0.0
+    inject_error: bool = False
+    truncate: bool = False
+
+
+class WireChaosPlane:
+    """One daemon's chaos scheduler: a locked RNG stream + counters."""
+
+    def __init__(self, chaos: WireChaos, seed: int) -> None:
+        if chaos.empty:
+            raise ValueError("an empty wire section builds no chaos plane")
+        self.chaos = chaos
+        self._rng = RandomStreams(seed).stream("faults.wire")
+        self._lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "resets": 0,
+            "delays": 0,
+            "injected_errors": 0,
+            "truncations": 0,
+        }
+
+    def plan_request(self) -> ChaosAction:
+        """Draw one request's fate (HTTP threads serialize on the lock).
+
+        Action precedence mirrors the handler: a reset preempts
+        everything (no response at all), an injected error preempts the
+        dispatch, truncation only matters for a response that is
+        actually sent.  Delay composes with any of them.
+        """
+        chaos = self.chaos
+        with self._lock:
+            self.counters["requests"] += 1
+            reset = (
+                chaos.reset_prob > 0
+                and float(self._rng.random()) < chaos.reset_prob
+            )
+            delay = 0.0
+            if (
+                chaos.delay_prob > 0
+                and float(self._rng.random()) < chaos.delay_prob
+            ):
+                delay = float(self._rng.random()) * chaos.delay_s
+            error = (
+                chaos.error_prob > 0
+                and float(self._rng.random()) < chaos.error_prob
+            )
+            truncate = (
+                chaos.truncate_prob > 0
+                and float(self._rng.random()) < chaos.truncate_prob
+            )
+            if delay:
+                self.counters["delays"] += 1
+            if reset:
+                self.counters["resets"] += 1
+            elif error:
+                self.counters["injected_errors"] += 1
+            elif truncate:
+                self.counters["truncations"] += 1
+        return ChaosAction(
+            reset=reset, delay_s=delay, inject_error=error, truncate=truncate
+        )
+
+    def snapshot(self) -> Dict:
+        """The ``server.wire_chaos`` section of ``GET /stats``."""
+        with self._lock:
+            return {
+                "plan": {
+                    "reset_prob": self.chaos.reset_prob,
+                    "delay_prob": self.chaos.delay_prob,
+                    "delay_s": self.chaos.delay_s,
+                    "error_prob": self.chaos.error_prob,
+                    "truncate_prob": self.chaos.truncate_prob,
+                },
+                **dict(self.counters),
+            }
+
+
+__all__ = ["ChaosAction", "WireChaosPlane"]

@@ -51,6 +51,8 @@ from ..api.scenarios import ScenarioSpec, build_backend
 from ..api.service import STATUS_ADMITTED, STATUS_COMPLETED, SessionHandle
 from ..cluster.transport import RecordingAdmissionPolicy
 from ..faults.sweep import leak_census
+from .chaos import WireChaosPlane
+from .edge import EdgeConfig, EdgeGuard
 from .errors import WireError, map_exception
 from .log import SubmissionLog, result_fingerprints
 from .ring import ResultRing
@@ -64,6 +66,9 @@ DEFAULT_TIME_SCALE = 8.0
 MAX_WAIT_S = 30.0
 #: the tenancy header
 TOKEN_HEADER = "X-Repro-Token"
+#: the submit-dedup header: a retried POST /sessions with the same key
+#: returns the stored first response instead of double-admitting
+IDEMPOTENCY_HEADER = "X-Repro-Idempotency-Key"
 
 
 class _EndpointTimer:
@@ -113,6 +118,9 @@ class ServeApp:
         time_scale: float = DEFAULT_TIME_SCALE,
         slice_s: float = DEFAULT_SLICE_S,
         drain_timeout_s: float = 30.0,
+        edge: Optional[EdgeConfig] = None,
+        wal_path: Optional[str] = None,
+        wal_flush_every: int = 8,
     ) -> None:
         if time_scale < 0:
             raise ValueError(f"time_scale must be >= 0, got {time_scale}")
@@ -128,8 +136,22 @@ class ServeApp:
         # admission verdict, in order, to replay the run bit-identically.
         self._recorder = RecordingAdmissionPolicy(self.backend.admission)
         self.backend.admission = self._recorder
-        self.log = SubmissionLog(spec)
+        self.log = SubmissionLog(
+            spec, wal_path=wal_path, flush_every=wal_flush_every
+        )
+        self.edge = EdgeGuard(edge if edge is not None else EdgeConfig())
+        # The wire-chaos plane exists only when the scenario's fault plan
+        # carries a non-empty wire section; otherwise no stream is even
+        # constructed — absent and empty sections are the same daemon.
+        wire = spec.fault_plan().wire
+        self.chaos: Optional[WireChaosPlane] = (
+            WireChaosPlane(wire, spec.seed)
+            if wire is not None and not wire.empty
+            else None
+        )
         self.sessions: Dict[int, _Session] = {}
+        self._idempotent: Dict[tuple, Dict] = {}
+        self._idempotent_hits = 0
         self._sids = itertools.count(1)
         self._lock = threading.RLock()
         self._work = threading.Condition(self._lock)
@@ -162,6 +184,23 @@ class ServeApp:
     def note_latency(self, endpoint: str, ms: float) -> None:
         with self._lock:
             self._timers.setdefault(endpoint, _EndpointTimer()).note(ms)
+
+    def _pump_lag_locked(self) -> float:
+        """How far the pump trails its pacing schedule, in wall seconds.
+
+        0 when free-running (``time_scale == 0``) or idle (no anchor):
+        with no schedule there is nothing to fall behind.  Caller holds
+        the app lock.
+        """
+        if self.time_scale <= 0 or self._anchor is None:
+            return 0.0
+        wall = time.monotonic()
+        allowed = self._anchor[1] + (wall - self._anchor[0]) * self.time_scale
+        return max(0.0, (allowed - self._now()) / self.time_scale)
+
+    def pump_lag_s(self) -> float:
+        with self._lock:
+            return self._pump_lag_locked()
 
     # ------------------------------------------------------------------
     # The pump thread: the only thing that advances the clock
@@ -249,17 +288,29 @@ class ServeApp:
     # ------------------------------------------------------------------
     # The wire operations (HTTP handler + tests call these)
     # ------------------------------------------------------------------
-    def submit(self, token: str, payload: object) -> Dict:
-        """POST /sessions: validate, admit, record; never corrupts replay.
+    def submit(
+        self,
+        token: str,
+        payload: object,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict:
+        """POST /sessions: shed, validate, admit, record; never corrupts replay.
 
-        Validation happens *before* the backend sees the request —
-        ``backend.submit`` consumes mobility-RNG draws while synthesising
-        the user's walk, so a submission that would raise inside the
-        backend (horizon passed) must be refused up front to keep the
-        submission log replayable.  Rejections by the admission policy
-        *are* recorded: they consumed draws, so replay must repeat them.
+        Order matters for determinism.  The edge guard sheds *first* —
+        before validation, the backend, and the log — so a rate-limited
+        or overloaded submit consumes zero RNG draws and leaves zero
+        state (replay never sees it).  Validation happens *before* the
+        backend sees the request — ``backend.submit`` consumes
+        mobility-RNG draws while synthesising the user's walk, so a
+        submission that would raise inside the backend (horizon passed)
+        must be refused up front to keep the submission log replayable.
+        Rejections by the admission policy *are* recorded: they consumed
+        draws, so replay must repeat them.
+
+        A repeated ``idempotency_key`` (same token) returns the stored
+        first response verbatim: a client retrying a submit whose
+        response was lost on the wire can never double-admit.
         """
-        request = request_from_wire(payload)
         with self._work:
             if self._finished:
                 raise WireError(
@@ -270,6 +321,17 @@ class ServeApp:
                     "draining",
                     "the daemon is draining (SIGTERM); no new sessions",
                 )
+            if idempotency_key is not None:
+                cached = self._idempotent.get((token, idempotency_key))
+                if cached is not None:
+                    self._idempotent_hits += 1
+                    return dict(cached)
+            self.edge.admit(
+                token,
+                live_sessions=len(self._live_sessions()),
+                pump_lag_s=self._pump_lag_locked(),
+            )
+            request = request_from_wire(payload)
             now = self._now()
             start = max(request.start_s, now)
             horizon = self.backend.duration_s
@@ -289,7 +351,7 @@ class ServeApp:
             if not handle.accepted:
                 sess.done = True
                 ring.close()
-                return {
+                resp = {
                     "session": sid,
                     "status": handle.status,
                     "reason": handle.reason,
@@ -299,18 +361,25 @@ class ServeApp:
                         "message": handle.reason,
                     },
                 }
-            self._work.notify_all()
-            spec = handle.spec
-            assert spec is not None
-            return {
-                "session": sid,
-                "status": handle.status,
-                "user_id": spec.user_id,
-                "start_s": spec.start_s,
-                "period_s": spec.period_s,
-                "num_periods": spec.num_periods,
-                "now": now,
-            }
+            else:
+                self._work.notify_all()
+                spec = handle.spec
+                assert spec is not None
+                resp = {
+                    "session": sid,
+                    "status": handle.status,
+                    "user_id": spec.user_id,
+                    "start_s": spec.start_s,
+                    "period_s": spec.period_s,
+                    "num_periods": spec.num_periods,
+                    "now": now,
+                }
+            if idempotency_key is not None:
+                # Both verdicts are cached: a rejected submit consumed
+                # admission/mobility draws too, and retrying it must not
+                # consume them again.
+                self._idempotent[(token, idempotency_key)] = dict(resp)
+            return resp
 
     @staticmethod
     def _wire_status(sess: _Session) -> str:
@@ -398,6 +467,15 @@ class ServeApp:
                     "slices": self._slices,
                     "advance_wall_s": self._advance_wall_s,
                     "sim_now": self._now(),
+                    "lag_s": self._pump_lag_locked(),
+                },
+                "edge": self.edge.snapshot(),
+                "wire_chaos": (
+                    self.chaos.snapshot() if self.chaos is not None else None
+                ),
+                "idempotency": {
+                    "entries": len(self._idempotent),
+                    "hits": self._idempotent_hits,
                 },
                 "latency_ms": {
                     name: timer.snapshot()
@@ -511,6 +589,7 @@ class ServeApp:
                 if not sess.done:
                     sess.done = True
                     sess.ring.close()
+            self.log.close_wal()
             self._work.notify_all()
         return self.summary
 
@@ -543,12 +622,28 @@ class ServeHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # the daemon's stdout is for the banner, not access logs
 
-    def _send_json(self, status: int, payload: Dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header(
+                "Retry-After", str(max(0, int(-(-retry_after_s // 1))))
+            )
         self.end_headers()
+        if getattr(self, "_chaos_truncate", False) and len(body) > 1:
+            # Wire chaos: state is committed but the response is cut
+            # short mid-body; the client sees an IncompleteRead and must
+            # lean on its idempotency key to retry safely.
+            self.wfile.write(body[: len(body) // 2])
+            self.close_connection = True
+            return
         self.wfile.write(body)
 
     def _token(self) -> str:
@@ -581,7 +676,27 @@ class ServeHandler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         endpoint = "?"
         t0 = time.perf_counter()
+        self._chaos_truncate = False
+        plane = self.app.chaos
+        inject_error = False
+        if plane is not None:
+            action = plane.plan_request()
+            if action.delay_s > 0:
+                time.sleep(action.delay_s)
+            if action.reset:
+                # No response at all: the client sees the connection
+                # drop (RemoteDisconnected) before any state changed.
+                self.close_connection = True
+                return
+            self._chaos_truncate = action.truncate
+            inject_error = action.inject_error
         try:
+            if inject_error:
+                raise WireError(
+                    "chaos-injected",
+                    "wire-chaos plane injected a failure before dispatch",
+                    retry_after_s=0.05,
+                )
             url = urlsplit(self.path)
             parts = [p for p in url.path.split("/") if p]
             query = parse_qs(url.query)
@@ -594,7 +709,10 @@ class ServeHandler(BaseHTTPRequestHandler):
             elif method == "POST" and parts == ["sessions"]:
                 endpoint = "POST /sessions"
                 token = self._token()
-                resp = self.app.submit(token, self._body())
+                idem = (self.headers.get(IDEMPOTENCY_HEADER) or "").strip()
+                resp = self.app.submit(
+                    token, self._body(), idempotency_key=idem or None
+                )
                 status = 201 if "error" not in resp else 409
                 self._send_json(status, resp)
             elif (
@@ -630,7 +748,11 @@ class ServeHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - typed contract boundary
             error = map_exception(exc)
             try:
-                self._send_json(error.http_status, error.payload())
+                self._send_json(
+                    error.http_status,
+                    error.payload(),
+                    retry_after_s=error.retry_after_s,
+                )
             except (BrokenPipeError, ConnectionResetError):
                 pass  # client went away mid-error; nothing to tell it
         finally:
@@ -671,19 +793,32 @@ def run_serve(
     ring_capacity: int = 256,
     out_dir: str = ".",
     name: Optional[str] = None,
+    edge: Optional[EdgeConfig] = None,
+    wal_flush_every: int = 8,
 ) -> int:
     """The blocking ``repro serve`` entrypoint: serve until SIGTERM/SIGINT.
+
+    Always writes the crash-safe WAL (``SERVE_<name>.wal``) as ops
+    commit, so even a SIGKILL'd daemon leaves a replayable flushed
+    prefix behind for ``repro replay --partial``.
 
     Returns the process exit code: 0 on a clean drain with a leak-free
     census, 3 (EXIT_FAILURE) when residual protocol state survived.
     """
+    import os
+
     from .errors import EXIT_FAILURE
 
+    safe = (name or spec.name).replace("/", "-").replace(" ", "-")
+    wal_path = os.path.join(out_dir, f"SERVE_{safe}.wal")
     app = ServeApp(
         spec,
         ring_capacity=ring_capacity,
         time_scale=time_scale,
         drain_timeout_s=drain_timeout_s,
+        edge=edge,
+        wal_path=wal_path,
+        wal_flush_every=wal_flush_every,
     )
     server = make_server(app, host=host, port=port)
     stop = threading.Event()
@@ -700,10 +835,17 @@ def run_serve(
     )
     server_thread.start()
     bound = server.server_address
+    edge_note = (
+        f", edge rate={app.edge.config.rate:g}/s"
+        if app.edge.config.enabled
+        else ""
+    )
+    chaos_note = ", wire-chaos ON" if app.chaos is not None else ""
     print(
         f"repro serve: scenario={spec.name} listening on "
         f"http://{bound[0]}:{bound[1]} (time_scale={time_scale:g}, "
-        f"drain_timeout={drain_timeout_s:g}s) — SIGTERM to drain",
+        f"drain_timeout={drain_timeout_s:g}s{edge_note}{chaos_note}) "
+        f"wal={wal_path} — SIGTERM to drain",
         flush=True,
     )
     try:
@@ -742,6 +884,7 @@ def run_serve(
 __all__ = [
     "DEFAULT_SLICE_S",
     "DEFAULT_TIME_SCALE",
+    "IDEMPOTENCY_HEADER",
     "MAX_WAIT_S",
     "TOKEN_HEADER",
     "ServeApp",

@@ -1,0 +1,193 @@
+"""The daemon's overload-resilient serving edge.
+
+Two layers of load shedding, both applied *before* a submit touches the
+backend, the admission policy, or the submission log — a shed request
+consumes zero RNG draws and leaves zero state, so the edge can never
+perturb replay determinism:
+
+* **Per-tenant token bucket** — each token (tenant) gets ``rate``
+  submits per second with a ``burst`` allowance.  An empty bucket is a
+  typed ``429 rate-limited`` with a ``Retry-After`` computed from the
+  exact refill arithmetic.
+* **Adaptive overload guard** — fed by the *live* backend state: the
+  number of live sessions and the pump's pacing lag (how far the pump
+  has fallen behind the wall-clock schedule ``time_scale`` promises).
+  Breaching either ceiling is a typed ``503 overloaded`` carrying the
+  configured ``Retry-After`` hint.
+
+Everything is observable: the guard counts checks, admits, and both
+shed classes, and :meth:`EdgeGuard.snapshot` surfaces them (plus the
+active config) under ``server.edge`` in ``GET /stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .errors import WireError
+
+
+@dataclass(frozen=True)
+class EdgeConfig:
+    """The edge policy knobs; every limit defaults to off (0)."""
+
+    #: per-tenant submits per second (0 disables rate limiting)
+    rate: float = 0.0
+    #: bucket capacity in submits (0 = auto: ``max(1, 2 * rate)``)
+    burst: float = 0.0
+    #: ceiling on live sessions across the backend (0 disables)
+    max_live_sessions: int = 0
+    #: ceiling on pump pacing lag in wall seconds (0 disables)
+    max_pump_lag_s: float = 0.0
+    #: Retry-After hint for overload sheds
+    overload_retry_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"edge rate must be >= 0, got {self.rate}")
+        if self.burst < 0:
+            raise ValueError(f"edge burst must be >= 0, got {self.burst}")
+        if self.max_live_sessions < 0:
+            raise ValueError(
+                f"edge max_live_sessions must be >= 0, got {self.max_live_sessions}"
+            )
+        if self.max_pump_lag_s < 0:
+            raise ValueError(
+                f"edge max_pump_lag_s must be >= 0, got {self.max_pump_lag_s}"
+            )
+        if self.overload_retry_s <= 0:
+            raise ValueError(
+                f"edge overload_retry_s must be > 0, got {self.overload_retry_s}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.rate or self.max_live_sessions or self.max_pump_lag_s)
+
+    @property
+    def effective_burst(self) -> float:
+        return self.burst if self.burst > 0 else max(1.0, 2.0 * self.rate)
+
+    def to_dict(self) -> Dict:
+        return {
+            "rate": self.rate,
+            "burst": self.effective_burst,
+            "max_live_sessions": self.max_live_sessions,
+            "max_pump_lag_s": self.max_pump_lag_s,
+            "overload_retry_s": self.overload_retry_s,
+        }
+
+
+class TokenBucket:
+    """The classic leaky counter: ``rate`` tokens/s up to ``burst``.
+
+    Not thread-safe on its own — :class:`EdgeGuard` serializes access.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"token bucket rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"token bucket burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._stamp: float | None = None
+
+    def try_take(self, now: float) -> tuple:
+        """Take one token at wall time ``now``.
+
+        Returns ``(True, 0.0)`` on success or ``(False, retry_after_s)``
+        with the exact wall seconds until the next token accrues.
+        """
+        if self._stamp is not None:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self._stamp) * self.rate
+            )
+        self._stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class EdgeGuard:
+    """The edge decision point the daemon consults on every submit."""
+
+    def __init__(
+        self,
+        config: EdgeConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "checked": 0,
+            "admitted": 0,
+            "rate_limited": 0,
+            "overloaded": 0,
+        }
+
+    def admit(self, token: str, live_sessions: int, pump_lag_s: float) -> None:
+        """Pass the submit through the edge, or raise the typed shed.
+
+        ``live_sessions`` and ``pump_lag_s`` are the live feed from the
+        daemon (BackendStats-adjacent state sampled under the app lock).
+        """
+        if not self.config.enabled:
+            return
+        config = self.config
+        with self._lock:
+            self.counters["checked"] += 1
+            if config.rate > 0:
+                bucket = self._buckets.get(token)
+                if bucket is None:
+                    bucket = TokenBucket(config.rate, config.effective_burst)
+                    self._buckets[token] = bucket
+                ok, retry_after = bucket.try_take(self._clock())
+                if not ok:
+                    self.counters["rate_limited"] += 1
+                    raise WireError(
+                        "rate-limited",
+                        f"tenant {token!r} exceeded {config.rate:g} submits/s "
+                        f"(burst {config.effective_burst:g})",
+                        retry_after_s=retry_after,
+                    )
+            if (
+                config.max_live_sessions
+                and live_sessions >= config.max_live_sessions
+            ):
+                self.counters["overloaded"] += 1
+                raise WireError(
+                    "overloaded",
+                    f"{live_sessions} live sessions at the "
+                    f"{config.max_live_sessions}-session ceiling",
+                    retry_after_s=config.overload_retry_s,
+                )
+            if config.max_pump_lag_s and pump_lag_s > config.max_pump_lag_s:
+                self.counters["overloaded"] += 1
+                raise WireError(
+                    "overloaded",
+                    f"pump is {pump_lag_s:.2f}s behind its pacing schedule "
+                    f"(ceiling {config.max_pump_lag_s:g}s)",
+                    retry_after_s=config.overload_retry_s,
+                )
+            self.counters["admitted"] += 1
+
+    def snapshot(self) -> Dict:
+        """The ``server.edge`` section of ``GET /stats``."""
+        with self._lock:
+            return {
+                "enabled": self.config.enabled,
+                "config": self.config.to_dict(),
+                "tenants": len(self._buckets),
+                **dict(self.counters),
+            }
+
+
+__all__ = ["EdgeConfig", "EdgeGuard", "TokenBucket"]

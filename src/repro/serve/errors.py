@@ -17,7 +17,7 @@ Two exit classes, matching the CLI's long-standing convention:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 #: CLI exit statuses (the repo-wide convention)
 EXIT_USAGE = 2
@@ -38,23 +38,45 @@ ERROR_CODES: Dict[str, Tuple[int, int]] = {
     "daemon-unreachable": (502, EXIT_FAILURE),
     "replay-mismatch": (409, EXIT_FAILURE),
     "internal": (500, EXIT_FAILURE),
+    "rate-limited": (429, EXIT_FAILURE),
+    "overloaded": (503, EXIT_FAILURE),
+    "chaos-injected": (503, EXIT_FAILURE),
 }
+
+#: codes a well-behaved client may retry (transient by construction:
+#: the edge shed them before any backend/log state changed, or the
+#: wire-chaos plane injected them before dispatch)
+RETRYABLE_CODES = frozenset({"rate-limited", "overloaded", "chaos-injected"})
 
 
 class WireError(Exception):
-    """One typed failure, equally at home in an HTTP body or an exit path."""
+    """One typed failure, equally at home in an HTTP body or an exit path.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``retry_after_s`` (optional) is the server's backoff hint: it rides
+    in the JSON payload and — on the HTTP surface — as a ``Retry-After``
+    header, so shed clients know when the edge expects capacity back.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
         if code not in ERROR_CODES:
             raise ValueError(f"unknown wire-error code {code!r}")
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+        self.retry_after_s = retry_after_s
         self.http_status, self.exit_code = ERROR_CODES[code]
 
     def payload(self) -> Dict:
         """The JSON body every error response carries."""
-        return {"error": {"code": self.code, "message": self.message}}
+        error: Dict = {"code": self.code, "message": self.message}
+        if self.retry_after_s is not None:
+            error["retry_after_s"] = round(float(self.retry_after_s), 3)
+        return {"error": error}
 
     @classmethod
     def from_payload(cls, data: Mapping) -> "WireError":
@@ -64,9 +86,16 @@ class WireError(Exception):
             return cls("internal", f"malformed error payload: {data!r}")
         code = str(error["code"])
         message = str(error.get("message", ""))
+        retry_after = error.get("retry_after_s")
         if code not in ERROR_CODES:
             return cls("internal", f"unknown error code {code!r}: {message}")
-        return cls(code, message)
+        return cls(
+            code,
+            message,
+            retry_after_s=(
+                float(retry_after) if retry_after is not None else None
+            ),
+        )
 
 
 def map_exception(exc: BaseException) -> WireError:
@@ -96,6 +125,7 @@ __all__ = [
     "ERROR_CODES",
     "EXIT_FAILURE",
     "EXIT_USAGE",
+    "RETRYABLE_CODES",
     "WireError",
     "map_exception",
 ]

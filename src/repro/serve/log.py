@@ -15,12 +15,22 @@ draw.)
 ``repro replay SERVE_<name>.json`` runs :func:`verify_submission_log`
 to check a recorded run's fingerprints — the wire layer provably adds
 no physics.
+
+Crash safety: when constructed with ``wal_path``, the log doubles as an
+append-on-commit write-ahead log — every recorded op is appended as one
+JSON line and fsync'd every ``flush_every`` ops, so a SIGKILL'd daemon
+leaves a readable flushed prefix on disk.  ``repro replay --partial``
+loads that prefix with :func:`load_partial_log` (tolerating a line
+truncated mid-write by the crash) and :func:`verify_partial_log` proves
+it replays bit-identically: no recorded fingerprints survive a SIGKILL,
+so the proof replays the prefix twice and compares.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Tuple
+import os
+from typing import Dict, List, Optional, TextIO, Tuple
 
 from ..api.admission import AdmissionDecision
 from ..api.backend import BackendStats
@@ -34,6 +44,8 @@ from ..workload.engine import WorkloadResult
 
 #: the log's format tag (bump on incompatible changes)
 LOG_FORMAT = "repro-serve-log/1"
+#: the write-ahead log's format tag (JSONL: header line, then op lines)
+WAL_FORMAT = "repro-serve-wal/1"
 
 
 def result_fingerprints(
@@ -57,11 +69,66 @@ def result_fingerprints(
 
 
 class SubmissionLog:
-    """Ordered record of every op a live daemon applied to its backend."""
+    """Ordered record of every op a live daemon applied to its backend.
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    With ``wal_path`` set the record is also crash-safe: ops are
+    appended to a JSONL write-ahead log as they commit and fsync'd every
+    ``flush_every`` ops (the durability/throughput dial).  Callers hold
+    the daemon's app lock around ``record_*``, so the WAL needs no lock
+    of its own.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        wal_path: Optional[str] = None,
+        flush_every: int = 1,
+    ) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.spec = spec
         self.ops: List[Dict] = []
+        self.wal_path = wal_path
+        self.flush_every = int(flush_every)
+        self._wal: Optional[TextIO] = None
+        self._written = 0
+        self._unflushed = 0
+        #: how many ops are durably on disk (survive SIGKILL)
+        self.flushed_ops = 0
+        if wal_path is not None:
+            self._wal = open(wal_path, "w", encoding="utf-8")
+            self._wal.write(
+                json.dumps(
+                    {"format": WAL_FORMAT, "scenario": spec.to_dict()},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            self._flush_wal()
+
+    def _append_wal(self, op: Dict) -> None:
+        if self._wal is None:
+            return
+        self._wal.write(json.dumps(op, sort_keys=True) + "\n")
+        self._written += 1
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self._flush_wal()
+
+    def _flush_wal(self) -> None:
+        if self._wal is None:
+            return
+        self._wal.flush()
+        os.fsync(self._wal.fileno())
+        self.flushed_ops = self._written
+        self._unflushed = 0
+
+    def close_wal(self) -> None:
+        """Final flush + close (clean shutdown; a SIGKILL never gets here)."""
+        if self._wal is not None:
+            self._flush_wal()
+            self._wal.close()
+            self._wal = None
 
     def record_submit(
         self,
@@ -70,18 +137,20 @@ class SubmissionLog:
         payload: Dict,
         decision: AdmissionDecision,
     ) -> None:
-        self.ops.append(
-            {
-                "op": "submit",
-                "now": now,
-                "session": session,
-                "payload": dict(payload),
-                "decision": decision_to_dict(decision),
-            }
-        )
+        op = {
+            "op": "submit",
+            "now": now,
+            "session": session,
+            "payload": dict(payload),
+            "decision": decision_to_dict(decision),
+        }
+        self.ops.append(op)
+        self._append_wal(op)
 
     def record_cancel(self, now: float, session: int) -> None:
-        self.ops.append({"op": "cancel", "now": now, "session": session})
+        op = {"op": "cancel", "now": now, "session": session}
+        self.ops.append(op)
+        self._append_wal(op)
 
     def to_dict(self, fingerprints: Optional[Dict] = None) -> Dict:
         data = {
@@ -130,6 +199,63 @@ def replay_submission_log(data: Dict) -> Dict:
     return result_fingerprints(workload, backend.stats())
 
 
+def load_partial_log(path: str) -> Dict:
+    """Read a (possibly SIGKILL-truncated) WAL into replayable log form.
+
+    The header line must parse — a WAL whose very first fsync never
+    landed is unreadable and raises ``ValueError``.  Op lines are read
+    until the first one that does not parse: a crash can only truncate
+    the *tail* of the file (appends are sequential), so everything
+    before the torn line is exactly the flushed prefix.
+    """
+    header: Optional[Dict] = None
+    ops: List[Dict] = []
+    truncated = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for index, line in enumerate(fh):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                entry = json.loads(stripped)
+            except ValueError:
+                truncated = True
+                break
+            if index == 0:
+                if not isinstance(entry, dict) or entry.get("format") != WAL_FORMAT:
+                    raise ValueError(
+                        f"{path} is not a {WAL_FORMAT} write-ahead log "
+                        f"(header: {entry!r})"
+                    )
+                header = entry
+            else:
+                ops.append(entry)
+    if header is None:
+        raise ValueError(f"{path} has no readable WAL header line")
+    return {
+        "format": LOG_FORMAT,
+        "scenario": header["scenario"],
+        "ops": ops,
+        "wal_truncated_tail": truncated,
+    }
+
+
+def verify_partial_log(data: Dict) -> Tuple[bool, Dict, Dict]:
+    """Prove a flushed WAL prefix is deterministic: replay it twice.
+
+    A SIGKILL'd daemon wrote no fingerprints, so there is nothing
+    recorded to compare against — instead the prefix is re-executed
+    through two independently built backends, and bit-identical
+    fingerprints from both is the crash-safety guarantee ``repro
+    replay --partial`` gates on.
+    """
+    first = replay_submission_log(data)
+    second = replay_submission_log(data)
+    canon_first = json.loads(json.dumps(first))
+    canon_second = json.loads(json.dumps(second))
+    return canon_first == canon_second, first, second
+
+
 def verify_submission_log(data: Dict) -> Tuple[bool, Optional[Dict], Dict]:
     """Replay a log and compare against its recorded fingerprints.
 
@@ -148,8 +274,11 @@ def verify_submission_log(data: Dict) -> Tuple[bool, Optional[Dict], Dict]:
 
 __all__ = [
     "LOG_FORMAT",
+    "WAL_FORMAT",
     "SubmissionLog",
+    "load_partial_log",
     "replay_submission_log",
     "result_fingerprints",
+    "verify_partial_log",
     "verify_submission_log",
 ]

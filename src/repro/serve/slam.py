@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..api.scenarios import ScenarioSpec, build_request_payloads
-from .client import ServeClient
+from .client import RetryPolicy, ServeClient
+from .errors import WireError
 from .wire import summarize
 
 
@@ -36,8 +37,12 @@ class SlamConfig:
     duration_s: float = 120.0
     #: long-poll wait per results call
     wait_s: float = 0.5
-    #: per-request HTTP timeout
+    #: per-request HTTP timeout (recorded in the report config)
     timeout_s: float = 10.0
+    #: bounded retries per logical request (0 = fail fast, the old way)
+    retries: int = 3
+    #: root seed of the clients' backoff streams
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -50,6 +55,12 @@ class SlamConfig:
             )
         if self.wait_s < 0:
             raise ValueError(f"slam wait must be >= 0, got {self.wait_s}")
+        if self.timeout_s <= 0:
+            raise ValueError(f"slam timeout must be > 0, got {self.timeout_s}")
+        if self.retries < 0:
+            raise ValueError(f"slam retries must be >= 0, got {self.retries}")
+        if self.seed < 0:
+            raise ValueError(f"slam seed must be >= 0, got {self.seed}")
 
 
 class _Worker:
@@ -58,7 +69,15 @@ class _Worker:
     def __init__(self, index: int, config: SlamConfig) -> None:
         self.index = index
         self.client = ServeClient(
-            config.url, f"slam-{index}", timeout_s=config.timeout_s
+            config.url,
+            f"slam-{index}",
+            timeout_s=config.timeout_s,
+            retry=RetryPolicy(
+                max_attempts=config.retries + 1,
+                base_s=0.05,
+                cap_s=1.0,
+                seed=config.seed,
+            ),
         )
         self.lock = threading.Lock()
         #: sessions assigned by the submitter, not yet picked up
@@ -101,16 +120,27 @@ class _Worker:
             past_deadline = time.monotonic() > deadline
             for state in list(live):
                 sid = state["session"]
-                if past_deadline:
-                    self.client.cancel(sid)
-                    state["cancelled"] = True
-                # Long-poll only when this worker has a single live
-                # session; otherwise short-poll to keep them all moving.
-                wait = config.wait_s if len(live) == 1 else 0.1
-                t0 = time.perf_counter()
-                resp = self.client.results(
-                    sid, after=state["after"], wait_s=0.0 if past_deadline else wait
-                )
+                try:
+                    if past_deadline:
+                        self.client.cancel(sid)
+                        state["cancelled"] = True
+                    # Long-poll only when this worker has a single live
+                    # session; otherwise short-poll to keep them all moving.
+                    wait = config.wait_s if len(live) == 1 else 0.1
+                    t0 = time.perf_counter()
+                    resp = self.client.results(
+                        sid,
+                        after=state["after"],
+                        wait_s=0.0 if past_deadline else wait,
+                    )
+                except WireError as exc:
+                    # Daemon gone (all retries exhausted): record the
+                    # typed failure and drop the session instead of
+                    # dying silently and stranding the join.
+                    self.errors.append({"session": sid, "error": str(exc)})
+                    live.remove(state)
+                    self.sessions.append(state)
+                    continue
                 self.poll_ms.append((time.perf_counter() - t0) * 1000.0)
                 if "error" in resp:
                     self.errors.append({"session": sid, "response": resp})
@@ -201,8 +231,23 @@ def run_slam(spec: ScenarioSpec, config: SlamConfig) -> Dict:
                 errors.append({"index": index, "status": status, "response": resp})
     finally:
         submit_done.set()
+    join_deadline_s = config.duration_s + 30.0
     for thread in threads:
-        thread.join(timeout=config.duration_s + 30.0)
+        thread.join(timeout=join_deadline_s)
+    # A thread still alive after its join deadline is a wedged client —
+    # report it loudly (it counts as an error) instead of silently
+    # pretending the run completed.
+    stuck = [thread.name for thread in threads if thread.is_alive()]
+    for name in stuck:
+        errors.append(
+            {
+                "thread": name,
+                "error": (
+                    f"stream thread failed to join within "
+                    f"{join_deadline_s:.0f}s"
+                ),
+            }
+        )
 
     sessions = [s for w in workers for s in w.sessions]
     poll_ms = [ms for w in workers for ms in w.poll_ms]
@@ -210,6 +255,13 @@ def run_slam(spec: ScenarioSpec, config: SlamConfig) -> Dict:
     success_ratios = [
         s["on_time"] / s["num_periods"] for s in sessions if s["num_periods"]
     ]
+    retry_counters: Dict[str, int] = {}
+    attempts_all: List[int] = []
+    for worker in workers:
+        counters, attempts = worker.client.counters_snapshot()
+        for key, value in counters.items():
+            retry_counters[key] = retry_counters.get(key, 0) + value
+        attempts_all.extend(attempts)
     wall_s = time.monotonic() - t_start
     submitted = len(submissions)
     return {
@@ -220,6 +272,9 @@ def run_slam(spec: ScenarioSpec, config: SlamConfig) -> Dict:
             "clients": config.clients,
             "duration_s": config.duration_s,
             "wait_s": config.wait_s,
+            "timeout_s": config.timeout_s,
+            "retries": config.retries,
+            "seed": config.seed,
         },
         "counts": {
             "payloads": len(payloads),
@@ -231,6 +286,13 @@ def run_slam(spec: ScenarioSpec, config: SlamConfig) -> Dict:
             "outcomes": sum(s["received"] for s in sessions),
             "on_time": sum(s["on_time"] for s in sessions),
             "ring_missed": sum(s["missed"] for s in sessions),
+            "retries": retry_counters.get("retries", 0),
+            "shed": (
+                retry_counters.get("rate_limited", 0)
+                + retry_counters.get("overloaded", 0)
+            ),
+            "gave_up": retry_counters.get("gave_up", 0),
+            "stuck_threads": len(stuck),
         },
         "wall_s": wall_s,
         "achieved_rate": submitted / wall_s if wall_s > 0 else 0.0,
@@ -239,6 +301,10 @@ def run_slam(spec: ScenarioSpec, config: SlamConfig) -> Dict:
             "poll": summarize(poll_ms),
         },
         "success": summarize(success_ratios),
+        "retry": {
+            "counters": retry_counters,
+            "attempts": summarize([float(a) for a in attempts_all]),
+        },
         "errors": errors[:50],
         "submissions": submissions,
     }
@@ -267,6 +333,8 @@ def markdown_table(report: Dict) -> str:
         f"| achieved rate (req/s) | {report['achieved_rate']:.2f} |",
         f"| outcomes streamed (on-time) | {counts['outcomes']} "
         f"({counts['on_time']}) |",
+        f"| retries / shed / gave-up | {counts['retries']} / "
+        f"{counts['shed']} / {counts['gave_up']} |",
         f"| submit latency p50/p99 (ms) | {ms(submit, 'p50')} / "
         f"{ms(submit, 'p99')} |",
         f"| poll latency p50/p99 (ms) | {ms(poll, 'p50')} / "

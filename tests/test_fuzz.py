@@ -1,0 +1,131 @@
+"""``repro fuzz``: bounded draws, seed determinism, sweep integration."""
+
+import json
+
+import pytest
+
+from repro.api.scenarios import ScenarioSpec
+from repro.cli import main
+from repro.faults.fuzz import (
+    FUZZ_ADMISSIONS,
+    FUZZ_ARRIVALS,
+    FuzzBounds,
+    draw_case,
+    markdown_summary,
+    run_fuzz,
+    write_fuzz_outputs,
+)
+from repro.sim.rng import RandomStreams
+
+
+def tiny_base():
+    return ScenarioSpec.from_dict(
+        {
+            "name": "fuzz-tiny",
+            "description": "fuzz test base world",
+            "mode": "jit",
+            "seed": 2,
+            "duration_s": 12.0,
+            "requests": [],
+        }
+    )
+
+
+#: bounds small enough that a full sweep cell free-runs in well under 1s
+TINY_BOUNDS = FuzzBounds(
+    users=(2, 2),
+    shards=(1, 1),
+    duration_s=(6.0, 8.0),
+    period_s=(1.5, 2.0),
+    radius_m=(40.0, 60.0),
+    spacing_s=(0.0, 1.0),
+    intensity=(0.0, 0.6),
+)
+
+
+def test_bounds_validation_rejects_inverted_and_out_of_range():
+    for bad in (
+        {"users": (3, 2)},
+        {"users": (0, 2)},
+        {"shards": (0, 1)},
+        {"duration_s": (2.0, 10.0)},
+        {"period_s": (0.1, 1.0)},
+        {"radius_m": (1.0, 50.0)},
+        {"spacing_s": (-1.0, 1.0)},
+        {"intensity": (0.5, 1.5)},
+        {"intensity": (-0.1, 0.5)},
+    ):
+        with pytest.raises(ValueError):
+            FuzzBounds(**bad)
+    data = FuzzBounds().to_dict()
+    assert data["users"] == [2, 6] and data["intensity"] == [0.25, 1.0]
+
+
+def test_draws_stay_strictly_inside_the_bounds():
+    base = tiny_base()
+    rng = RandomStreams(3).stream("fuzz")
+    for index in range(12):
+        case = draw_case(base, rng, index, TINY_BOUNDS)
+        drawn = case.drawn
+        assert TINY_BOUNDS.users[0] <= drawn["users"] <= TINY_BOUNDS.users[1]
+        assert drawn["shards"] == 1
+        lo, hi = TINY_BOUNDS.duration_s
+        assert lo <= drawn["duration_s"] <= hi
+        lo, hi = TINY_BOUNDS.period_s
+        assert lo <= drawn["period_s"] <= hi
+        lo, hi = TINY_BOUNDS.radius_m
+        assert lo <= drawn["radius_m"] <= hi
+        lo, hi = TINY_BOUNDS.intensity
+        assert lo <= drawn["intensity"] <= hi
+        assert drawn["freshness_s"] < drawn["period_s"]
+        assert drawn["arrival"] in FUZZ_ARRIVALS
+        assert drawn["admission"] in FUZZ_ADMISSIONS
+        # The derived spec is a valid, runnable scenario.
+        assert case.spec.name == f"fuzz-tiny-fuzz{index}"
+        assert case.spec.requests[0]["count"] == drawn["users"]
+        # The axes always carry the invariant baselines.
+        assert case.axes.intensities[0] == 0.0
+        assert case.axes.shards[0] == 1
+        assert case.axes.admissions[0] == "accept-all"
+
+
+def test_same_seed_draws_the_same_cases():
+    base = tiny_base()
+    rng_a = RandomStreams(9).stream("fuzz")
+    rng_b = RandomStreams(9).stream("fuzz")
+    drawn_a = [draw_case(base, rng_a, i, TINY_BOUNDS).drawn for i in range(6)]
+    drawn_b = [draw_case(base, rng_b, i, TINY_BOUNDS).drawn for i in range(6)]
+    assert drawn_a == drawn_b
+    rng_c = RandomStreams(10).stream("fuzz")
+    drawn_c = [draw_case(base, rng_c, i, TINY_BOUNDS).drawn for i in range(6)]
+    assert drawn_a != drawn_c
+
+
+def test_run_fuzz_end_to_end_holds_invariants_and_writes_report(tmp_path):
+    result = run_fuzz(tiny_base(), runs=1, seed=4, bounds=TINY_BOUNDS)
+    assert result.ok, result.violations
+    assert result.runs == 1 and result.seed == 4
+    assert result.cases[0]["cells"] == len(result.cases[0]["rows"])
+    # Serializable, and the file lands where asked.
+    data = json.loads(json.dumps(result.to_dict()))
+    assert data["ok"] and data["base"] == "fuzz-tiny"
+    # A not-yet-existing out dir is created, not a traceback.
+    path = write_fuzz_outputs(result, str(tmp_path / "reports" / "fuzz"))
+    assert path.endswith("FUZZ_fuzz-tiny-fuzz.json")
+    on_disk = json.loads(open(path, encoding="utf-8").read())
+    assert on_disk == data
+    table = markdown_summary(result)
+    assert "| case |" in table and "| 0 |" in table and "ok |" in table
+
+
+def test_run_fuzz_validates_inputs():
+    with pytest.raises(ValueError):
+        run_fuzz(tiny_base(), runs=0)
+    with pytest.raises(ValueError):
+        run_fuzz(tiny_base(), seed=-1)
+
+
+def test_cli_fuzz_usage_errors_exit_2(capsys):
+    assert main(["fuzz"]) == 2
+    assert "base scenario" in capsys.readouterr().err
+    assert main(["fuzz", "no-such-scenario"]) == 2

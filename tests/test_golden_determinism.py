@@ -162,6 +162,26 @@ def test_worker_kill_only_plan_leaves_the_world_identical():
     expected = GOLDEN_RESULTS["single_user"]
     assert result.frames_sent == expected["frames_sent"]
     assert tuple(result.user_success_ratios) == expected["success_ratios"]
+
+
+def test_wire_only_plan_leaves_the_world_identical():
+    """Wire chaos mangles HTTP, never physics: a wire-only fault plan is
+    ``world_empty``, draws from its own dedicated ``"faults.wire"``
+    stream, and must not move a single golden pin — and an all-zeros
+    wire section is literally no plan at all."""
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.from_dict(
+        {"wire": {"reset_prob": 0.5, "delay_prob": 0.5, "delay_s": 0.1,
+                  "error_prob": 0.5, "truncate_prob": 0.5}}
+    )
+    assert plan.world_empty and not plan.empty
+    assert FaultPlan.from_dict({"wire": {}}).empty
+    result = run_experiment(_config(1), faults=plan)
+    expected = GOLDEN_RESULTS["single_user"]
+    assert result.frames_sent == expected["frames_sent"]
+    assert tuple(result.user_success_ratios) == expected["success_ratios"]
+    assert result.events_executed == GOLDEN_EVENT_COUNTS["single_user"]
     assert result.events_executed == GOLDEN_EVENT_COUNTS["single_user"]
 
 

@@ -24,6 +24,7 @@ from repro.serve.errors import (
     ERROR_CODES,
     EXIT_FAILURE,
     EXIT_USAGE,
+    RETRYABLE_CODES,
     WireError,
     map_exception,
 )
@@ -49,8 +50,31 @@ def test_error_code_table_is_pinned():
         "daemon-unreachable": (502, 3),
         "replay-mismatch": (409, 3),
         "internal": (500, 3),
+        "rate-limited": (429, 3),
+        "overloaded": (503, 3),
+        "chaos-injected": (503, 3),
     }
     assert EXIT_USAGE == 2 and EXIT_FAILURE == 3
+    # The retryable set is wire API too: clients branch on it.
+    assert RETRYABLE_CODES == {"rate-limited", "overloaded", "chaos-injected"}
+
+
+def test_wire_error_retry_after_rides_payload_and_round_trips():
+    err = WireError("rate-limited", "slow down", retry_after_s=0.25)
+    assert err.payload() == {
+        "error": {
+            "code": "rate-limited",
+            "message": "slow down",
+            "retry_after_s": 0.25,
+        }
+    }
+    back = WireError.from_payload(err.payload())
+    assert back.retry_after_s == 0.25
+    # Absent hint stays absent — the payload shape is unchanged for
+    # every pre-existing code.
+    assert WireError("draining", "x").payload() == {
+        "error": {"code": "draining", "message": "x"}
+    }
 
 
 def test_wire_error_carries_status_and_exit_code():
@@ -136,6 +160,50 @@ def test_ring_long_poll_times_out_empty():
     items, missed, done = ring.read(after_k=0, wait_s=0.05)
     assert items == [] and not done
     assert time.monotonic() - t0 >= 0.04
+
+
+def test_ring_long_poll_under_concurrent_readers_and_eviction():
+    """N readers long-polling one tiny ring while a writer floods it.
+
+    Every reader must terminate (no lost wakeups), and each one's
+    ``received + missed`` accounting must equal the total appended —
+    eviction under pressure loses entries, never *count* of entries.
+    """
+    ring = ResultRing(capacity=4)
+    total = 200
+    results = {}
+
+    def reader(slot):
+        received = missed = after = 0
+        while True:
+            items, miss, done = ring.read(after_k=after, wait_s=2.0)
+            received += len(items)
+            missed += miss
+            for item in items:
+                assert item["k"] > after  # strictly forward, never replayed
+                after = item["k"]
+            if done and not items:
+                results[slot] = (received, missed)
+                return
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,), daemon=True)
+        for slot in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for k in range(1, total + 1):
+        ring.append({"k": k})
+        if k % 16 == 0:
+            time.sleep(0.001)  # let readers interleave with eviction
+    ring.close()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert not any(thread.is_alive() for thread in threads)
+    assert len(results) == 4
+    for received, missed in results.values():
+        assert received + missed == total
+        assert received >= 1  # everyone saw at least something
 
 
 def test_ring_rejects_append_after_close_and_bad_capacity():
