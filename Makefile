@@ -14,6 +14,8 @@
 #   make serve-smoke     daemon + slam + SIGTERM drain + bit-identical replay
 #   make chaos-smoke     wire-fault daemon + retrying slam + SIGKILL +
 #                        bit-identical partial WAL replay
+#   make approx-smoke    uav-survey at coarse + exact accuracy, then the
+#                        accuracy/energy frontier gate
 #   make check           what CI runs on every push
 
 PY ?= python
@@ -30,7 +32,7 @@ SERVE_SMOKE_PORT ?= 8641
 #: port the chaos smoke binds (distinct so both smokes can run in parallel)
 CHAOS_SMOKE_PORT ?= 8652
 
-.PHONY: test bench bench-smoke bench-perf bench-cluster perf-gate profile examples-smoke sweep-smoke fuzz-smoke serve-smoke chaos-smoke check
+.PHONY: test bench bench-smoke bench-perf bench-cluster perf-gate profile examples-smoke sweep-smoke fuzz-smoke serve-smoke chaos-smoke approx-smoke check
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -q tests/
@@ -147,6 +149,16 @@ chaos-smoke:
 	kill -KILL $$SERVE_PID; \
 	wait $$SERVE_PID 2>/dev/null; \
 	PYTHONPATH=src $(PY) -m repro replay --partial SERVE_chaos-smoke.wal
+
+# The approximate-query smoke: run the pinned frontier scenario at both
+# accuracy levels (coarse answers from in-network summaries, exact runs
+# the full collection protocol), then gate the frontier — coarse must
+# cut frames >= 2x while every answer stays within its declared
+# error_bound of the exact twin's.
+approx-smoke:
+	PYTHONPATH=src $(PY) -m repro scenario uav-survey --accuracy coarse
+	PYTHONPATH=src $(PY) -m repro scenario uav-survey --accuracy exact
+	PYTHONPATH=src $(PY) -m pytest -q benchmarks/test_approx_frontier.py
 
 # One-command cProfile of a canonical scenario (the ROADMAP recipe):
 #   make profile SCENARIO=fig4_jit ARGS="--sort cumtime --top 40"

@@ -25,6 +25,12 @@ from ..mobility.profile import ProfileProvider
 #: per-request motion-profile delivery modes (None = service default)
 PROFILE_MODES = ("full", "planner", "predictor")
 
+#: answer-accuracy classes, exactest first.  ``exact`` runs the full
+#: collection protocol (bit-identical to the pre-accuracy service);
+#: ``medium``/``coarse`` answer periods from the in-network summary plane
+#: (:mod:`repro.approx`) at a bounded error, trading fidelity for frames.
+ACCURACY_LEVELS = ("exact", "medium", "coarse")
+
 
 def validate_query_params(
     radius_m: float, period_s: float, freshness_s: float
@@ -70,6 +76,9 @@ class QueryRequest:
             default).
         advance_time_s / gps_error_m / sampling_period_s: provider knobs;
             None = service defaults.
+        accuracy: "exact" (default; full collection protocol) or
+            "medium"/"coarse" — answer each period from cached
+            multiresolution summaries with a declared ``error_bound``.
     """
 
     attribute: str = "temperature"
@@ -86,6 +95,7 @@ class QueryRequest:
     advance_time_s: Optional[float] = None
     gps_error_m: Optional[float] = None
     sampling_period_s: Optional[float] = None
+    accuracy: str = "exact"
 
     def __post_init__(self) -> None:
         validate_query_params(self.radius_m, self.period_s, self.freshness_s)
@@ -102,6 +112,11 @@ class QueryRequest:
             raise ValueError(
                 f"unknown profile mode {self.profile_mode!r}; "
                 f"expected one of {PROFILE_MODES}"
+            )
+        if self.accuracy not in ACCURACY_LEVELS:
+            raise ValueError(
+                f"unknown accuracy {self.accuracy!r}; "
+                f"expected one of {ACCURACY_LEVELS}"
             )
 
     def with_start(self, start_s: float) -> "QueryRequest":
@@ -127,6 +142,9 @@ class PeriodOutcome:
     delivered_at: Optional[float]
     #: centre of the area the service actually queried, when reported
     area_center: Optional[Vec2] = None
+    #: declared worst-case |answer - exact| for approximate sessions;
+    #: None on the exact path (the answer *is* the protocol's answer)
+    error_bound: Optional[float] = None
 
     @property
     def missed(self) -> bool:

@@ -45,7 +45,7 @@ from ..net.network import NetworkConfig
 from ..workload.engine import WorkloadResult
 from .admission import AdmissionPolicy, make_admission_policy
 from .backend import QueryBackend
-from .requests import QueryRequest
+from .requests import ACCURACY_LEVELS, QueryRequest
 from .service import MobiQueryService, SessionHandle
 
 #: request-template keys that are not QueryRequest fields
@@ -98,13 +98,29 @@ class ScenarioSpec:
     workers: int = 0
     #: spatial partitioner registry name (see repro.cluster.PARTITIONERS)
     partitioner: str = "balanced-kd"
+    # -- declarative serve-daemon posture (ROADMAP item 2) ------------
+    # CLI flags still override: a flag given on ``repro serve`` beats
+    # the spec; the spec beats the built-in defaults.
+    #: edge admission: sustained sessions/s (0 = edge disabled)
+    edge_rate: float = 0.0
+    #: edge admission: token-bucket burst depth (0 = edge disabled)
+    edge_burst: float = 0.0
+    #: edge admission: concurrent live-session cap (0 = unlimited)
+    max_live_sessions: int = 0
+    #: WAL group-commit: flush every N records (1 = every record)
+    wal_flush: int = 8
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a scenario needs a name")
         if self.duration_s <= 0:
             raise ValueError(f"duration must be > 0, got {self.duration_s:g}")
-        for knob, value in (("shards", self.shards), ("workers", self.workers)):
+        for knob, value in (
+            ("shards", self.shards),
+            ("workers", self.workers),
+            ("max_live_sessions", self.max_live_sessions),
+            ("wal_flush", self.wal_flush),
+        ):
             if not isinstance(value, int) or isinstance(value, bool):
                 raise ValueError(
                     f"{knob} must be an integer, got {value!r}"
@@ -113,6 +129,20 @@ class ScenarioSpec:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        for knob, value in (
+            ("edge_rate", self.edge_rate),
+            ("edge_burst", self.edge_burst),
+        ):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{knob} must be a number, got {value!r}")
+            if value < 0:
+                raise ValueError(f"{knob} must be >= 0, got {value:g}")
+        if self.max_live_sessions < 0:
+            raise ValueError(
+                f"max_live_sessions must be >= 0, got {self.max_live_sessions}"
+            )
+        if self.wal_flush < 1:
+            raise ValueError(f"wal_flush must be >= 1, got {self.wal_flush}")
         from ..cluster.partition import PARTITIONERS  # lazy: avoid cycle
 
         if self.partitioner not in PARTITIONERS:
@@ -145,6 +175,10 @@ class ScenarioSpec:
             "shards",
             "workers",
             "partitioner",
+            "edge_rate",
+            "edge_burst",
+            "max_live_sessions",
+            "wal_flush",
         }
         unknown = set(data) - known
         if unknown:
@@ -173,6 +207,10 @@ class ScenarioSpec:
             "shards": self.shards,
             "workers": self.workers,
             "partitioner": self.partitioner,
+            "edge_rate": self.edge_rate,
+            "edge_burst": self.edge_burst,
+            "max_live_sessions": self.max_live_sessions,
+            "wal_flush": self.wal_flush,
         }
 
     def with_overrides(
@@ -198,6 +236,24 @@ class ScenarioSpec:
             payload["partitioner"] = partitioner
         if faults is not None:
             payload["faults"] = faults
+        return ScenarioSpec.from_dict(payload)
+
+    def with_accuracy(self, accuracy: str) -> "ScenarioSpec":
+        """The same workload with every request at ``accuracy``.
+
+        This is how a scenario's exact twin is built (and how the CLI's
+        ``--accuracy`` / the sweep's ``--accuracies`` axis rewrite a
+        cell): only the ``accuracy`` key of each template changes, so
+        paths, seeds and arrival phases stay identical.
+        """
+        if accuracy not in ACCURACY_LEVELS:
+            raise ValueError(
+                f"unknown accuracy {accuracy!r}; expected one of "
+                f"{ACCURACY_LEVELS}"
+            )
+        payload = self.to_dict()
+        for template in payload["requests"]:
+            template["accuracy"] = accuracy
         return ScenarioSpec.from_dict(payload)
 
     def fault_plan(self) -> FaultPlan:
@@ -392,16 +448,21 @@ def run_scenario(
     shards: Optional[int] = None,
     workers: Optional[int] = None,
     backend: Optional[QueryBackend] = None,
+    accuracy: Optional[str] = None,
 ) -> ScenarioResult:
     """Run one scenario end to end and score every admitted session.
 
     ``backend`` injects a pre-built backend (the cluster benchmarks use
     this to time an explicit ``ClusterService(shards=1)`` against the
     default single-world path); otherwise one is built from the spec.
+    ``accuracy`` rewrites every request template (``repro scenario
+    --accuracy`` — how a scenario's exact twin runs).
     """
     spec = spec.with_overrides(
         duration_s=duration_s, seed=seed, shards=shards, workers=workers
     )
+    if accuracy is not None:
+        spec = spec.with_accuracy(accuracy)
     if backend is None:
         backend = build_backend(spec)
     handles = [backend.submit(request) for request in build_requests(spec)]
@@ -429,6 +490,22 @@ def _patrol_beat(index: int) -> List[List[float]]:
     x0, y0 = 40.0 + col * 130.0, 50.0 + row * 190.0
     w, h = 110.0, 150.0
     return [[x0, y0], [x0 + w, y0], [x0 + w, y0 + h], [x0, y0 + h], [x0, y0]]
+
+
+def _uav_sweep(index: int) -> List[List[float]]:
+    """Lawnmower sweep over one horizontal strip of the field, per UAV.
+
+    Each of the 4 UAVs owns a 112.5 m strip and mows it in two long
+    passes — the fast, ground-covering motion where per-period tree
+    placement pays full price for areas the vehicle has already left.
+    """
+    y0 = 30.0 + (index % 4) * 112.5
+    return [
+        [25.0, y0],
+        [425.0, y0],
+        [425.0, y0 + 55.0],
+        [25.0, y0 + 55.0],
+    ]
 
 
 _HETERO_REQUESTS = (
@@ -558,6 +635,41 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
                     "count": 16,
                     "spacing_s": 1.5,
                 },
+            ),
+        ),
+        ScenarioSpec(
+            name="uav-survey",
+            description=(
+                "4 survey UAVs mow the field in fast lawnmower sweeps "
+                "(12 m/s) under coarse accuracy: each period is answered "
+                "from the multiresolution summary plane instead of "
+                "placing collection trees the vehicle outruns — the "
+                "accuracy/energy frontier scenario (run --accuracy exact "
+                "for the exact twin)."
+            ),
+            mode="jit",
+            seed=17,
+            duration_s=60.0,
+            # Summaries refresh on the beacon cycle; a 3 s duty cycle
+            # keeps cached readings inside the sessions' freshness bound.
+            network={"sleep_period_s": 3.0},
+            requests=tuple(
+                {
+                    "attribute": "temperature",
+                    "aggregation": "avg",
+                    "radius_m": 70.0,
+                    "period_s": 3.0,
+                    "freshness_s": 3.0,
+                    "start_s": uav * 1.5,
+                    "accuracy": "coarse",
+                    "path": {
+                        "kind": "patrol",
+                        "waypoints": _uav_sweep(uav),
+                        "speed": 12.0,
+                        "loops": 2,
+                    },
+                }
+                for uav in range(4)
             ),
         ),
         ScenarioSpec(

@@ -32,6 +32,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
+from ..approx.plane import SummaryAnswer, SummaryPlane
 from ..core.baseline import NoPrefetchProtocol
 from ..core.gateway import MobiQueryGateway, NoPrefetchGateway
 from ..core.metrics import (
@@ -333,6 +334,7 @@ class SessionHandle:
             contributors=len(chosen.contributors) if chosen is not None else 0,
             delivered_at=chosen.time if chosen is not None else None,
             area_center=chosen.area_center if chosen is not None else None,
+            error_bound=chosen.error_bound if chosen is not None else None,
         )
 
     def cancel(self) -> None:
@@ -443,6 +445,10 @@ class MobiQueryService:
                 self.faults, self.network, self.streams, tracer=self.tracer
             )
             self.fault_injector.start()
+        #: multiresolution summary cache (:mod:`repro.approx`); created on
+        #: the first approximate admission so exact-only runs never carry
+        #: one — the bit-identity guarantee of ``accuracy="exact"``.
+        self.summary_plane: Optional[SummaryPlane] = None
         self.handles: List[SessionHandle] = []
         self._admitted_total = 0
         self._completed = False
@@ -499,6 +505,11 @@ class MobiQueryService:
         """
         if self.config.mode == MODE_IDLE:
             raise ValueError("an idle-mode service accepts no queries")
+        if request.accuracy != "exact" and self.config.mode == MODE_NP:
+            raise ValueError(
+                "approximate accuracy requires the MobiQuery service; the "
+                "NP baseline serves exact queries only"
+            )
         if self._closed:
             raise ServiceClosedError(
                 "submit() on a closed service (close() already sealed the run)"
@@ -577,7 +588,14 @@ class MobiQueryService:
         rng: np.random.Generator = self.streams.stream(
             user_stream("proxy", user_id)
         )
-        if self.config.mode == MODE_NP:
+        if request.accuracy != "exact":
+            # Summary-served session: no prefetch chains, no floods, no
+            # per-period trees — answers compose from the cached plane.
+            plan = UserPlan(user_id=user_id, spec=spec, path=path)
+            session = self.workload.add_approx_user(
+                plan, self._ensure_summary_plane(), request.accuracy, rng
+            )
+        elif self.config.mode == MODE_NP:
             if self.np_protocol is None:
                 self.np_protocol = NoPrefetchProtocol(
                     self.network, self.geo, self.flood, tracer=self.tracer
@@ -613,6 +631,37 @@ class MobiQueryService:
             session.gateway.faults_active = True
         return session
 
+    def _ensure_summary_plane(self) -> SummaryPlane:
+        """The world's summary plane, created on first approximate use.
+
+        Creation is RNG-free and schedules nothing; once alive, the plane
+        also overhears the exact protocol's report traffic so summaries
+        sharpen on traffic that was flowing anyway.
+        """
+        if self.summary_plane is None:
+            self.summary_plane = SummaryPlane(self.network)
+            if self.protocol is not None:
+                self.protocol.summary_observer = self.summary_plane
+        return self.summary_plane
+
+    def summary_answer(
+        self,
+        center: Vec2,
+        radius_m: float,
+        aggregation,
+        accuracy: str = "coarse",
+        freshness_s: float = float("inf"),
+    ) -> Optional[SummaryAnswer]:
+        """One ad-hoc answer from this world's summary plane.
+
+        The cluster router composes these per-shard partials
+        (associatively) into boundary-free answers; callers wanting
+        staleness surfaced should pass their freshness bound.
+        """
+        return self._ensure_summary_plane().answer(
+            center, radius_m, accuracy, freshness_s, aggregation
+        )
+
     def cancel(self, handle: SessionHandle) -> None:
         """Tear down one session mid-run.
 
@@ -643,6 +692,11 @@ class MobiQueryService:
             self.protocol.release_session(*key)
         if self.np_protocol is not None:
             self.np_protocol.release_session(*key)
+        if self.summary_plane is not None:
+            # Normally released by the gateway's close(); kept here so the
+            # teardown invariant (zero summary residue) never depends on
+            # gateway subclass behaviour.
+            self.summary_plane.release_session(key)
         self.network.channel.unregister_mobile(handle.session.proxy.node_id)
 
     def release_session_state(self, handle: SessionHandle) -> None:

@@ -1,0 +1,28 @@
+"""``repro.approx`` — multiresolution in-network summaries.
+
+The summary plane lets a session trade fidelity for frames: backbone
+nodes maintain per-region partial aggregates (count/sum/min/max, so
+every aggregation operator composes) at nested spatial resolutions,
+refreshed opportunistically on the protocol's existing report/beacon
+traffic.  A :class:`~repro.api.requests.QueryRequest` with
+``accuracy="coarse"`` or ``"medium"`` answers each period from the
+cached summaries whose cells cover the query disk — no per-period
+collection tree, no floods — and carries a declared ``error_bound``
+on every :class:`~repro.api.requests.PeriodOutcome`.
+"""
+
+from .gateway import ApproxGateway
+from .plane import (
+    ACCURACY_LEVEL_CAP,
+    SummaryAnswer,
+    SummaryPlane,
+    merge_answers,
+)
+
+__all__ = [
+    "ACCURACY_LEVEL_CAP",
+    "ApproxGateway",
+    "SummaryAnswer",
+    "SummaryPlane",
+    "merge_answers",
+]

@@ -27,6 +27,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .api.requests import ACCURACY_LEVELS
 from .experiments.config import (
     MODE_GREEDY,
     MODE_IDLE,
@@ -105,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
         "not exceed the period)",
     )
     run_p.add_argument(
+        "--accuracy",
+        choices=list(ACCURACY_LEVELS),
+        default="exact",
+        help="answer accuracy: exact (full collection protocol, the "
+        "default) or medium/coarse (bounded-error answers from the "
+        "in-network summary plane)",
+    )
+    run_p.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -157,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the cluster worker-process count",
     )
+    scen_p.add_argument(
+        "--accuracy",
+        choices=list(ACCURACY_LEVELS),
+        default=None,
+        help="rewrite every request template's accuracy (exact / medium "
+        "/ coarse) — how a scenario's exact twin runs",
+    )
 
     sweep_p = sub.add_parser(
         "sweep",
@@ -200,6 +216,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated admission policies "
         "(accept-all, per-area-cap, phase-assign)",
+    )
+    sweep_p.add_argument(
+        "--accuracies",
+        default=None,
+        help="comma-separated accuracy levels (exact, medium, coarse) — "
+        "covers the summary-served path in the fault grid",
+    )
+    sweep_p.add_argument(
+        "--densities",
+        default=None,
+        help="comma-separated node counts, e.g. 150,200,300 "
+        "(0 = the scenario's own density)",
+    )
+    sweep_p.add_argument(
+        "--radio-ranges",
+        default=None,
+        help="comma-separated comm ranges in metres, e.g. 90,105,120 "
+        "(0 = the scenario's own range)",
     )
     sweep_p.add_argument(
         "--duration", type=float, default=None, help="override the duration (s)"
@@ -284,22 +318,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--edge-rate",
         type=float,
-        default=0.0,
+        default=None,
         help="per-tenant admitted submissions per second "
-        "(0 = edge admission off, the default)",
+        "(default: the scenario's edge_rate key, else 0 = edge off)",
     )
     serve_p.add_argument(
         "--edge-burst",
         type=float,
-        default=0.0,
-        help="per-tenant token-bucket burst (0 = 2x the rate)",
+        default=None,
+        help="per-tenant token-bucket burst (default: the scenario's "
+        "edge_burst key; 0 = 2x the rate)",
     )
     serve_p.add_argument(
         "--max-live-sessions",
         type=int,
-        default=0,
+        default=None,
         help="shed new submissions (503 overloaded) above this many live "
-        "sessions (0 = no ceiling)",
+        "sessions (default: the scenario's max_live_sessions key; "
+        "0 = no ceiling)",
     )
     serve_p.add_argument(
         "--max-pump-lag",
@@ -311,9 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--wal-flush",
         type=int,
-        default=8,
-        help="fsync the crash-safe op log every N ops (default 8; "
-        "1 = every op)",
+        default=None,
+        help="fsync the crash-safe op log every N ops (default: the "
+        "scenario's wal_flush key, else 8; 1 = every op)",
     )
 
     slam_p = sub.add_parser(
@@ -562,6 +598,7 @@ def _cmd_run_cluster(
                 period_s=config.query.period_s,
                 freshness_s=config.query.freshness_s,
                 start_s=start,
+                accuracy=config.query.accuracy,
             )
         )
     workload = cluster.close()
@@ -604,6 +641,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 radius_m=args.radius,
                 period_s=args.period,
                 freshness_s=args.freshness,
+                accuracy=args.accuracy,
             ),
             num_users=args.users,
             arrival_process=args.arrival,
@@ -710,6 +748,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             seed=args.seed,
             shards=args.shards,
             workers=args.workers,
+            accuracy=args.accuracy,
         )
     except (KeyError, OSError, ValueError, TypeError) as exc:
         message = exc.args[0] if exc.args else exc
@@ -810,6 +849,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             axes_data["admissions"] = tuple(
                 tok.strip() for tok in args.admissions.split(",") if tok.strip()
             )
+        if args.accuracies:
+            axes_data["accuracies"] = tuple(
+                tok.strip() for tok in args.accuracies.split(",") if tok.strip()
+            )
+        if args.densities:
+            axes_data["densities"] = _parse_axis_list(
+                args.densities, int, "--densities"
+            )
+        if args.radio_ranges:
+            axes_data["radio_ranges"] = _parse_axis_list(
+                args.radio_ranges, float, "--radio-ranges"
+            )
         axes = SweepAxes.from_dict(axes_data) if axes_data else SweepAxes()
         print(
             f"sweep base={base.name} cells={axes.cell_count()} "
@@ -831,7 +882,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"repro sweep: INVARIANT VIOLATED: {violation}", file=sys.stderr)
         return 3
     print("metamorphic invariants hold: fault-monotonicity, "
-          "shards1-identity, churn-no-leak, admission-no-harm")
+          "shards1-identity, churn-no-leak, admission-no-harm, "
+          "density-monotonicity")
     return 0
 
 
@@ -919,11 +971,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         time_scale = (
             args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
         )
+        # Flags override the scenario's daemon-posture keys; unset flags
+        # fall back to whatever the spec declares.
         edge = EdgeConfig(
-            rate=args.edge_rate,
-            burst=args.edge_burst,
-            max_live_sessions=args.max_live_sessions,
+            rate=args.edge_rate if args.edge_rate is not None else spec.edge_rate,
+            burst=(
+                args.edge_burst if args.edge_burst is not None else spec.edge_burst
+            ),
+            max_live_sessions=(
+                args.max_live_sessions
+                if args.max_live_sessions is not None
+                else spec.max_live_sessions
+            ),
             max_pump_lag_s=args.max_pump_lag,
+        )
+        wal_flush = (
+            args.wal_flush if args.wal_flush is not None else spec.wal_flush
         )
         return run_serve(
             spec,
@@ -935,7 +998,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             out_dir=args.out_dir,
             name=args.name,
             edge=edge,
-            wal_flush_every=args.wal_flush,
+            wal_flush_every=wal_flush,
         )
     except (KeyError, OSError, ValueError, TypeError) as exc:
         message = exc.args[0] if exc.args else exc

@@ -56,6 +56,7 @@ from ..api.service import (
 )
 from ..experiments.config import ExperimentConfig
 from ..faults.plan import FaultPlan
+from ..approx.plane import SummaryAnswer, merge_answers
 from ..geometry.shapes import Rect
 from ..workload.engine import WorkloadResult
 from .partition import (
@@ -318,6 +319,36 @@ class ClusterService:
         """Tear one session down mid-run (idempotent, like the service)."""
         self.shard_of(handle)  # reject foreign handles loudly
         handle.cancel()
+
+    def summary_answer(
+        self,
+        center,
+        radius_m: float,
+        aggregation,
+        accuracy: str = "coarse",
+        freshness_s: float = float("inf"),
+    ) -> Optional[SummaryAnswer]:
+        """One cluster-wide approximate answer for a query disk.
+
+        Each shard whose region the disk touches answers from its own
+        summary plane (its world only holds its region's sensors); the
+        router composes the per-shard partials associatively with
+        :func:`~repro.approx.plane.merge_answers`, so the merged answer
+        is boundary-free — no shard ever reads across its border.
+        """
+        partials: List[SummaryAnswer] = []
+        for region, service in zip(self.regions, self.services):
+            # Disk-rect intersection: clamp the centre into the region.
+            dx = center.x - min(max(center.x, region.x_min), region.x_max)
+            dy = center.y - min(max(center.y, region.y_min), region.y_max)
+            if dx * dx + dy * dy > radius_m * radius_m:
+                continue
+            answer = service.summary_answer(
+                center, radius_m, aggregation, accuracy, freshness_s
+            )
+            if answer is not None:
+                partials.append(answer)
+        return merge_answers(partials, aggregation)
 
     def finalize(self) -> WorkloadResult:
         """Score every admitted session, across all shards.

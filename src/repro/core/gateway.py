@@ -58,6 +58,8 @@ class DeliveryRecord:
     #: True when the result was salvaged through fault recovery
     #: (collector re-election) rather than the normal collection path
     degraded: bool = False
+    #: declared worst-case |answer - exact| (approximate sessions only)
+    error_bound: Optional[float] = None
 
 
 class BaseGateway:
@@ -121,6 +123,7 @@ class BaseGateway:
         area_center: Optional[Vec2] = None,
         area: Optional[object] = None,
         degraded: bool = False,
+        error_bound: Optional[float] = None,
     ) -> None:
         """Append a delivery observation at the current time."""
         record = DeliveryRecord(
@@ -131,6 +134,7 @@ class BaseGateway:
             area_center=area_center,
             area=area,
             degraded=degraded,
+            error_bound=error_bound,
         )
         self.deliveries.append(record)
         if degraded:

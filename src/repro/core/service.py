@@ -143,6 +143,12 @@ class MobiQueryProtocol:
         self._cancelled_from: Dict[int, Dict[Tuple[int, int, int], int]] = {}
         self._pending_batches: Dict[int, List[SetupMessage]] = {}
         self._batch_scheduled: Set[int] = set()
+        # Optional summary plane (repro.approx): when set, readings the
+        # collection phase computes anyway are overheard into the cached
+        # summaries — a pure dictionary update, no frames, no events, no
+        # RNG, so exact-only runs (observer None) are byte-for-byte
+        # untouched.
+        self.summary_observer = None
         # Sessions torn down by the service (operator cancel): frames of a
         # dead session still in flight must not resurrect its chain — a
         # prefetch mid-route would otherwise re-assign a collector and
@@ -628,17 +634,26 @@ class MobiQueryProtocol:
         if state.sent or self.sim.now >= state.deadline:
             return
         state.sent = True
-        reading = AggregateState.from_reading(node.node_id, node.read_sensor())
-        state.partial.merge(reading)
+        value = node.read_sensor()
+        state.partial.merge(AggregateState.from_reading(node.node_id, value))
+        self._observe_reading(node, value)
         self._send_report(node, state)
 
     def _send_partial_up(self, node: SensorNode, state: TreeNodeState) -> None:
         if state.sent:
             return
         state.sent = True
-        reading = AggregateState.from_reading(node.node_id, node.read_sensor())
-        state.partial.merge(reading)
+        value = node.read_sensor()
+        state.partial.merge(AggregateState.from_reading(node.node_id, value))
+        self._observe_reading(node, value)
         self._send_report(node, state)
+
+    def _observe_reading(self, node: SensorNode, value: float) -> None:
+        """Overhear one reading into the summary plane, when one exists."""
+        if self.summary_observer is not None:
+            self.summary_observer.observe(
+                node.node_id, node.position, value, self.sim.now
+            )
 
     def _send_report(self, node: SensorNode, state: TreeNodeState) -> None:
         if state.parent_id is None:
@@ -714,9 +729,9 @@ class MobiQueryProtocol:
         if state is not None:
             state.sent = True
             if area.contains(node.position):
-                partial.merge(
-                    AggregateState.from_reading(node.node_id, node.read_sensor())
-                )
+                value = node.read_sensor()
+                partial.merge(AggregateState.from_reading(node.node_id, value))
+                self._observe_reading(node, value)
         message = ResultMessage(
             query_id=spec.query_id,
             k=collector.k,

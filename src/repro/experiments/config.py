@@ -48,13 +48,18 @@ class QueryParams:
     radius_m: float = 150.0
     period_s: float = 2.0
     freshness_s: float = 1.0
+    accuracy: str = "exact"
 
     def __post_init__(self) -> None:
         # Same one-line rejections as the service boundary (imported
         # lazily: repro.api depends on this module).
-        from ..api.requests import validate_query_params
+        from ..api.requests import ACCURACY_LEVELS, validate_query_params
 
         validate_query_params(self.radius_m, self.period_s, self.freshness_s)
+        if self.accuracy not in ACCURACY_LEVELS:
+            raise ValueError(
+                f"accuracy must be one of {ACCURACY_LEVELS}, got {self.accuracy!r}"
+            )
 
 
 @dataclass(frozen=True)

@@ -135,6 +135,7 @@ def _legacy_requests(config: ExperimentConfig, streams: RandomStreams) -> List[Q
             freshness_s=config.query.freshness_s,
             start_s=starts[user_id],
             user_id=user_id,
+            accuracy=config.query.accuracy,
         )
         for user_id in range(config.num_users)
     ]

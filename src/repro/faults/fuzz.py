@@ -56,6 +56,10 @@ class FuzzBounds:
     radius_m: Tuple[float, float] = (40.0, 90.0)
     spacing_s: Tuple[float, float] = (0.5, 2.5)
     intensity: Tuple[float, float] = (0.25, 1.0)
+    # Degenerate by default: lo == hi means "keep the base scenario's
+    # network" and draws nothing, so existing seeds replay bit-identically.
+    n_nodes: Tuple[int, int] = (200, 200)
+    comm_range_m: Tuple[float, float] = (105.0, 105.0)
 
     def __post_init__(self) -> None:
         _check_range("users", *self.users, minimum=1)
@@ -65,6 +69,8 @@ class FuzzBounds:
         _check_range("radius_m", *self.radius_m, minimum=10.0)
         _check_range("spacing_s", *self.spacing_s, minimum=0.0)
         _check_range("intensity", *self.intensity, minimum=0.0)
+        _check_range("n_nodes", *self.n_nodes, minimum=8)
+        _check_range("comm_range_m", *self.comm_range_m, minimum=20.0)
         if self.intensity[1] > 1.0:
             raise ValueError(
                 f"fuzz intensity hi must be <= 1, got {self.intensity[1]}"
@@ -79,6 +85,8 @@ class FuzzBounds:
             "radius_m": list(self.radius_m),
             "spacing_s": list(self.spacing_s),
             "intensity": list(self.intensity),
+            "n_nodes": list(self.n_nodes),
+            "comm_range_m": list(self.comm_range_m),
         }
 
 
@@ -113,6 +121,19 @@ def draw_case(
     arrival = str(rng.choice(list(FUZZ_ARRIVALS)))
     admission = str(rng.choice(list(FUZZ_ADMISSIONS)))
     seed_offset = int(rng.integers(0, 10_000))
+    # Density / radio-range draws come last and only when the bounds are
+    # non-degenerate, so default-bounds replays keep their historical
+    # draw sequence.
+    n_nodes = (
+        int(rng.integers(bounds.n_nodes[0], bounds.n_nodes[1] + 1))
+        if bounds.n_nodes[0] != bounds.n_nodes[1]
+        else None
+    )
+    comm_range = (
+        round(float(rng.uniform(*bounds.comm_range_m)), 1)
+        if bounds.comm_range_m[0] != bounds.comm_range_m[1]
+        else None
+    )
 
     payload = base.to_dict()
     payload["name"] = f"{base.name}-fuzz{index}"
@@ -134,6 +155,13 @@ def draw_case(
     payload["faults"] = {}
     payload["shards"] = 1
     payload["workers"] = 0
+    if n_nodes is not None or comm_range is not None:
+        network = dict(payload.get("network", {}))
+        if n_nodes is not None:
+            network["n_nodes"] = n_nodes
+        if comm_range is not None:
+            network["comm_range_m"] = comm_range
+        payload["network"] = network
     spec = ScenarioSpec.from_dict(payload)
 
     # Always include the fault-free point (monotonicity baseline) and —
@@ -167,6 +195,10 @@ def draw_case(
         "admission": admission,
         "seed": spec.seed,
     }
+    if n_nodes is not None:
+        drawn["n_nodes"] = n_nodes
+    if comm_range is not None:
+        drawn["comm_range_m"] = comm_range
     return FuzzCase(index=index, spec=spec, axes=axes, drawn=drawn)
 
 

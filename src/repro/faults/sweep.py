@@ -1,9 +1,10 @@
 """The adversarial robustness sweep (``repro sweep``).
 
 Fans one base :class:`~repro.api.scenarios.ScenarioSpec` across axis
-ranges — fleet size x shard count x fault intensity x arrival process —
-through the cluster transport's process pool, and checks three
-*metamorphic invariants* on the grid:
+ranges — fleet size x shard count x fault intensity x arrival process x
+answer accuracy x node density x radio range — through the cluster
+transport's process pool, and checks the *metamorphic invariants* on
+the grid:
 
 * **fault-monotonicity** — mean success never *improves* as fault
   intensity rises (within a 1 pp tolerance for tie-break noise), holding
@@ -11,6 +12,9 @@ through the cluster transport's process pool, and checks three
   underlying world is identical across intensities; a success ratio that
   goes *up* under heavier faults means the recovery machinery perturbed
   the fault-free path.
+* **density-monotonicity** — at a fixed radio range, mean success never
+  improves as node density rises: more radios in the same field can
+  only add channel contention.
 * **shards1-identity** — a ``shards=1`` cluster is bit-identical to the
   single-world service *with the same fault plan injected*.
 * **churn-no-leak** — interleaved cancel + fault churn leaves zero
@@ -31,6 +35,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from ..api.requests import ACCURACY_LEVELS
 from ..api.scenarios import ScenarioSpec, build_requests
 from ..api.service import RUN_TAIL_S
 from .plan import FaultPlan, _reject_unknown_keys
@@ -52,8 +57,13 @@ _ADMISSION_CONFIGS: Dict[str, Dict] = {
 }
 
 _AXES_KEYS = frozenset(
-    {"users", "shards", "intensities", "arrivals", "admissions"}
+    {"users", "shards", "intensities", "arrivals", "admissions",
+     "accuracies", "densities", "radio_ranges"}
 )
+
+#: sentinel axis values meaning "keep the base scenario's network config"
+DENSITY_BASE = 0
+RADIO_RANGE_BASE = 0.0
 
 
 @dataclass(frozen=True)
@@ -65,10 +75,14 @@ class SweepAxes:
     intensities: Tuple[float, ...] = (0.0, 0.5, 1.0)
     arrivals: Tuple[str, ...] = (ARRIVAL_STAGGERED, ARRIVAL_BURST)
     admissions: Tuple[str, ...] = (ADMISSION_ACCEPT_ALL,)
+    accuracies: Tuple[str, ...] = ("exact",)
+    densities: Tuple[int, ...] = (DENSITY_BASE,)
+    radio_ranges: Tuple[float, ...] = (RADIO_RANGE_BASE,)
 
     def __post_init__(self) -> None:
         for axis in ("users", "shards", "intensities", "arrivals",
-                     "admissions"):
+                     "admissions", "accuracies", "densities",
+                     "radio_ranges"):
             if not getattr(self, axis):
                 raise ValueError(f"sweep axis {axis!r} must not be empty")
         for n in self.users:
@@ -77,6 +91,24 @@ class SweepAxes:
         for n in self.shards:
             if n < 1:
                 raise ValueError(f"sweep shards must be >= 1, got {n}")
+        for accuracy in self.accuracies:
+            if accuracy not in ACCURACY_LEVELS:
+                raise ValueError(
+                    f"unknown sweep accuracy {accuracy!r}; expected one of "
+                    f"{list(ACCURACY_LEVELS)}"
+                )
+        for density in self.densities:
+            # DENSITY_BASE (0) keeps the base scenario's node count.
+            if density < 0:
+                raise ValueError(
+                    f"sweep density must be >= 0, got {density}"
+                )
+        for radio_range in self.radio_ranges:
+            # RADIO_RANGE_BASE (0) keeps the base comm range.
+            if radio_range < 0:
+                raise ValueError(
+                    f"sweep radio range must be >= 0, got {radio_range}"
+                )
         for intensity in self.intensities:
             if not 0.0 <= intensity <= 1.0:
                 raise ValueError(
@@ -109,6 +141,14 @@ class SweepAxes:
             payload["arrivals"] = tuple(str(v) for v in data["arrivals"])
         if "admissions" in data:
             payload["admissions"] = tuple(str(v) for v in data["admissions"])
+        if "accuracies" in data:
+            payload["accuracies"] = tuple(str(v) for v in data["accuracies"])
+        if "densities" in data:
+            payload["densities"] = tuple(int(v) for v in data["densities"])
+        if "radio_ranges" in data:
+            payload["radio_ranges"] = tuple(
+                float(v) for v in data["radio_ranges"]
+            )
         return cls(**payload)
 
     def cell_count(self) -> int:
@@ -118,6 +158,9 @@ class SweepAxes:
             * len(self.intensities)
             * len(self.arrivals)
             * len(self.admissions)
+            * len(self.accuracies)
+            * len(self.densities)
+            * len(self.radio_ranges)
         )
 
 
@@ -182,6 +225,9 @@ class SweepCell:
     arrival: str
     payload: Dict
     admission: str = ADMISSION_ACCEPT_ALL
+    accuracy: str = "exact"
+    density: int = DENSITY_BASE
+    radio_range: float = RADIO_RANGE_BASE
 
 
 def build_cells(base: ScenarioSpec, axes: SweepAxes) -> List[SweepCell]:
@@ -199,43 +245,66 @@ def build_cells(base: ScenarioSpec, axes: SweepAxes) -> List[SweepCell]:
     prototype = dict(base.requests[0])
     base_spacing = float(prototype.get("spacing_s", 2.0)) or 2.0
     cells: List[SweepCell] = []
-    for users in axes.users:
-        for shards in axes.shards:
-            for intensity in axes.intensities:
-                for arrival in axes.arrivals:
-                    for admission in axes.admissions:
-                        template = dict(prototype)
-                        template["count"] = users
-                        template["spacing_s"] = (
-                            0.0 if arrival == ARRIVAL_BURST else base_spacing
-                        )
-                        payload = base.to_dict()
-                        payload["name"] = (
-                            f"{base.name}.u{users}.s{shards}"
-                            f".f{intensity:g}.{arrival}.{admission}"
-                        )
-                        payload["requests"] = [template]
-                        payload["shards"] = shards
-                        # Cells parallelise across the pool, not within it.
-                        payload["workers"] = 0
-                        payload["admission"] = dict(
-                            _ADMISSION_CONFIGS[admission]
-                        )
-                        payload["faults"] = _merge_fault_dicts(
-                            dict(base.faults),
-                            plan_for_intensity(base, intensity),
-                        )
-                        ScenarioSpec.from_dict(payload)  # fail at build time
-                        cells.append(
-                            SweepCell(
-                                users=users,
-                                shards=shards,
-                                intensity=intensity,
-                                arrival=arrival,
-                                payload=payload,
-                                admission=admission,
-                            )
-                        )
+    combos = [
+        (users, shards, intensity, arrival, admission, accuracy, density,
+         radio_range)
+        for users in axes.users
+        for shards in axes.shards
+        for intensity in axes.intensities
+        for arrival in axes.arrivals
+        for admission in axes.admissions
+        for accuracy in axes.accuracies
+        for density in axes.densities
+        for radio_range in axes.radio_ranges
+    ]
+    for (users, shards, intensity, arrival, admission, accuracy, density,
+         radio_range) in combos:
+        template = dict(prototype)
+        template["count"] = users
+        template["spacing_s"] = (
+            0.0 if arrival == ARRIVAL_BURST else base_spacing
+        )
+        template["accuracy"] = accuracy
+        payload = base.to_dict()
+        # Default axis values keep the legacy cell names (and therefore
+        # stable report diffs); only non-default coordinates grow suffixes.
+        payload["name"] = (
+            f"{base.name}.u{users}.s{shards}"
+            f".f{intensity:g}.{arrival}.{admission}"
+            + (f".a-{accuracy}" if accuracy != "exact" else "")
+            + (f".n{density}" if density != DENSITY_BASE else "")
+            + (f".r{radio_range:g}" if radio_range != RADIO_RANGE_BASE else "")
+        )
+        payload["requests"] = [template]
+        payload["shards"] = shards
+        # Cells parallelise across the pool, not within it.
+        payload["workers"] = 0
+        payload["admission"] = dict(_ADMISSION_CONFIGS[admission])
+        network = dict(payload.get("network", {}))
+        if density != DENSITY_BASE:
+            network["n_nodes"] = density
+        if radio_range != RADIO_RANGE_BASE:
+            network["comm_range_m"] = radio_range
+        if network:
+            payload["network"] = network
+        payload["faults"] = _merge_fault_dicts(
+            dict(base.faults),
+            plan_for_intensity(base, intensity),
+        )
+        ScenarioSpec.from_dict(payload)  # fail at build time
+        cells.append(
+            SweepCell(
+                users=users,
+                shards=shards,
+                intensity=intensity,
+                arrival=arrival,
+                payload=payload,
+                admission=admission,
+                accuracy=accuracy,
+                density=density,
+                radio_range=radio_range,
+            )
+        )
     return cells
 
 
@@ -273,6 +342,11 @@ def leak_census(service) -> Dict[str, int]:
         "scheduler_slots": len(scheduler._gateways),
         "pending_starts": len(scheduler._start_events),
         "future_psm_overrides": future_overrides,
+        "summary_sessions": (
+            service.summary_plane.live_session_count()
+            if getattr(service, "summary_plane", None) is not None
+            else 0
+        ),
         "pending_growth": max(0, pending_after - pending_before),
     }
 
@@ -337,6 +411,9 @@ def run_sweep_cell(cell: SweepCell) -> Dict[str, Any]:
         "intensity": cell.intensity,
         "arrival": cell.arrival,
         "admission": cell.admission,
+        "accuracy": cell.accuracy,
+        "density": cell.density,
+        "radio_range": cell.radio_range,
         "admitted": result.admitted,
         "rejected": result.rejected,
         "mean_success": result.mean_success,
@@ -398,6 +475,9 @@ class SweepResult:
                 "intensities": list(self.axes.intensities),
                 "arrivals": list(self.axes.arrivals),
                 "admissions": list(self.axes.admissions),
+                "accuracies": list(self.axes.accuracies),
+                "densities": list(self.axes.densities),
+                "radio_ranges": list(self.axes.radio_ranges),
             },
             "rows": self.rows,
             "violations": self.violations,
@@ -441,6 +521,9 @@ def check_invariants(rows: List[Dict[str, Any]]) -> List[str]:
             row["shards"],
             row["arrival"],
             row.get("admission", ADMISSION_ACCEPT_ALL),
+            row.get("accuracy", "exact"),
+            row.get("density", DENSITY_BASE),
+            row.get("radio_range", RADIO_RANGE_BASE),
         )
         groups.setdefault(key, []).append(row)
     for key, group in sorted(groups.items()):
@@ -458,6 +541,45 @@ def check_invariants(rows: List[Dict[str, Any]]) -> List[str]:
                     "exceeds %.4f at a lower intensity"
                     % (key[0], key[1], key[2], key[3], success,
                        row["intensity"], best_so_far)
+                )
+            best_so_far = (
+                success if best_so_far is None else min(best_so_far, success)
+            )
+    # density-monotonicity: at a fixed radio range, packing more nodes
+    # into the same field can only raise channel contention — mean
+    # success must not *improve* as density rises (same tolerance).  The
+    # DENSITY_BASE sentinel is excluded: "keep the base count" has no
+    # defined ordering against explicit node counts.
+    density_groups: Dict[Tuple, List[Dict]] = {}
+    for row in rows:
+        if row.get("density", DENSITY_BASE) == DENSITY_BASE:
+            continue
+        key = (
+            row["users"],
+            row["shards"],
+            row["intensity"],
+            row["arrival"],
+            row.get("admission", ADMISSION_ACCEPT_ALL),
+            row.get("accuracy", "exact"),
+            row.get("radio_range", RADIO_RANGE_BASE),
+        )
+        density_groups.setdefault(key, []).append(row)
+    for key, group in sorted(density_groups.items()):
+        group.sort(key=lambda r: r["density"])
+        best_so_far = None
+        for row in group:
+            success = row["mean_success"]
+            if (
+                best_so_far is not None
+                and success > best_so_far + MONOTONICITY_TOLERANCE
+            ):
+                violations.append(
+                    "density-monotonicity: users=%d shards=%d intensity=%g "
+                    "arrival=%s admission=%s accuracy=%s radio_range=%g — "
+                    "mean success %.4f at density %d exceeds %.4f at a "
+                    "lower density"
+                    % (key[0], key[1], key[2], key[3], key[4], key[5],
+                       key[6], success, row["density"], best_so_far)
                 )
             best_so_far = (
                 success if best_so_far is None else min(best_so_far, success)
@@ -485,14 +607,18 @@ def check_invariants(rows: List[Dict[str, Any]]) -> List[str]:
     for row in rows:
         if row.get("admission", ADMISSION_ACCEPT_ALL) == ADMISSION_ACCEPT_ALL:
             point = (row["users"], row["shards"], row["intensity"],
-                     row["arrival"])
+                     row["arrival"], row.get("accuracy", "exact"),
+                     row.get("density", DENSITY_BASE),
+                     row.get("radio_range", RADIO_RANGE_BASE))
             baselines[point] = row["mean_success"]
     for row in rows:
         admission = row.get("admission", ADMISSION_ACCEPT_ALL)
         if admission == ADMISSION_ACCEPT_ALL or not row.get("rejected"):
             continue
         point = (row["users"], row["shards"], row["intensity"],
-                 row["arrival"])
+                 row["arrival"], row.get("accuracy", "exact"),
+                 row.get("density", DENSITY_BASE),
+                 row.get("radio_range", RADIO_RANGE_BASE))
         baseline = baselines.get(point)
         if baseline is None:
             continue

@@ -794,13 +794,19 @@ def run_serve(
     out_dir: str = ".",
     name: Optional[str] = None,
     edge: Optional[EdgeConfig] = None,
-    wal_flush_every: int = 8,
+    wal_flush_every: Optional[int] = None,
 ) -> int:
     """The blocking ``repro serve`` entrypoint: serve until SIGTERM/SIGINT.
 
     Always writes the crash-safe WAL (``SERVE_<name>.wal``) as ops
     commit, so even a SIGKILL'd daemon leaves a replayable flushed
     prefix behind for ``repro replay --partial``.
+
+    Daemon posture defaults come from the *scenario*: when ``edge`` /
+    ``wal_flush_every`` are not passed (CLI flags override), the spec's
+    declarative ``edge_rate`` / ``edge_burst`` / ``max_live_sessions`` /
+    ``wal_flush`` keys apply — a workload file fully describes how its
+    daemon should hold the door.
 
     Returns the process exit code: 0 on a clean drain with a leak-free
     census, 3 (EXIT_FAILURE) when residual protocol state survived.
@@ -809,6 +815,14 @@ def run_serve(
 
     from .errors import EXIT_FAILURE
 
+    if edge is None:
+        edge = EdgeConfig(
+            rate=spec.edge_rate,
+            burst=spec.edge_burst,
+            max_live_sessions=spec.max_live_sessions,
+        )
+    if wal_flush_every is None:
+        wal_flush_every = spec.wal_flush
     safe = (name or spec.name).replace("/", "-").replace(" ", "-")
     wal_path = os.path.join(out_dir, f"SERVE_{safe}.wal")
     app = ServeApp(

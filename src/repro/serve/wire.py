@@ -56,6 +56,7 @@ def outcome_to_wire(outcome: PeriodOutcome) -> Dict:
         "contributors": outcome.contributors,
         "delivered_at": outcome.delivered_at,
         "area_center": [center.x, center.y] if center is not None else None,
+        "error_bound": outcome.error_bound,
     }
 
 

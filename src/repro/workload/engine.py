@@ -25,6 +25,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..approx.gateway import ApproxGateway
+from ..approx.plane import SummaryPlane
 from ..core.baseline import NoPrefetchProtocol
 from ..core.gateway import MobiQueryGateway, NoPrefetchGateway, SessionScheduler
 from ..core.service import MobiQueryProtocol
@@ -96,6 +98,25 @@ class Workload:
         proxy = build_proxy(plan, self.network, rng, self.tracer)
         gateway = MobiQueryGateway(
             proxy, self.network, plan.spec, protocol, plan.provider, self.tracer
+        )
+        return self._register(plan, proxy, gateway)
+
+    def add_approx_user(
+        self,
+        plan: UserPlan,
+        plane: SummaryPlane,
+        accuracy: str,
+        rng: np.random.Generator,
+    ) -> UserSession:
+        """Spawn one summary-served user (``accuracy`` "coarse"/"medium").
+
+        No profile provider is needed: the session never places trees
+        ahead of the user, it composes each period's answer from the
+        plane at the user's actual position.
+        """
+        proxy = build_proxy(plan, self.network, rng, self.tracer)
+        gateway = ApproxGateway(
+            proxy, self.network, plan.spec, plane, plan.path, accuracy, self.tracer
         )
         return self._register(plan, proxy, gateway)
 
